@@ -1,0 +1,44 @@
+//! Criterion benches for the end-to-end formation mechanism — the
+//! microbenchmark companion of Fig. 9 (whole-mechanism wall-clock per
+//! program size) plus a TVOF-vs-RVOF overhead comparison (reputation
+//! computation is TVOF's only extra work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridvo_core::mechanism::Mechanism;
+use gridvo_core::FormationScenario;
+use gridvo_sim::experiments::paper_config;
+use gridvo_sim::instance_gen::ScenarioGenerator;
+use gridvo_sim::runner::seeded_rng;
+use gridvo_sim::TableI;
+
+fn scenario(tasks: usize) -> (FormationScenario, TableI) {
+    let cfg = TableI { task_sizes: vec![tasks], ..TableI::default() };
+    let generator = ScenarioGenerator::new(cfg.clone());
+    let mut rng = seeded_rng(0xF0F0, tasks as u64);
+    (generator.scenario(tasks, &mut rng).expect("calibrated scenario"), cfg)
+}
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formation");
+    group.sample_size(10);
+    for tasks in [64usize, 128, 256] {
+        let (s, cfg) = scenario(tasks);
+        let mech_cfg = paper_config(&cfg);
+        group.bench_with_input(BenchmarkId::new("tvof", tasks), &s, |b, s| {
+            b.iter(|| {
+                let mut rng = seeded_rng(0xF1, tasks as u64);
+                Mechanism::tvof(mech_cfg).run(s, &mut rng).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rvof", tasks), &s, |b, s| {
+            b.iter(|| {
+                let mut rng = seeded_rng(0xF2, tasks as u64);
+                Mechanism::rvof(mech_cfg).run(s, &mut rng).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches for the coalitional-game substrate: exact
+//! Shapley scaling in the player count, Monte-Carlo Shapley per
+//! sample, and least-core constraint generation — the costs the paper
+//! cites when rejecting the Shapley value for tractability.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridvo_game::characteristic::TableGame;
+use gridvo_game::coalition::Coalition;
+use gridvo_game::core_solution::least_core;
+use gridvo_game::division::{shapley_exact, shapley_monte_carlo};
+use rand::{Rng, SeedableRng};
+
+/// A pseudo-random (but deterministic) bounded game over `n` players.
+fn random_game(n: usize, seed: u64) -> TableGame {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let values: Vec<f64> = (0..(1usize << n))
+        .map(|bits| if bits == 0 { 0.0 } else { rng.gen_range(0.0..100.0) })
+        .collect();
+    TableGame::new(n, values).expect("valid table")
+}
+
+fn bench_shapley(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shapley_exact");
+    for n in [8usize, 12, 16] {
+        let g = random_game(n, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| shapley_exact(g).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("shapley_monte_carlo");
+    let g = random_game(16, 99);
+    for samples in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &s| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            b.iter(|| shapley_monte_carlo(&g, s, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_least_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("least_core");
+    group.sample_size(20);
+    for n in [6usize, 10, 14] {
+        let g = random_game(n, 7 * n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| least_core(g, 1e-7).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_subset_enumeration(c: &mut Criterion) {
+    c.bench_function("subsets_of_16", |b| {
+        let grand = Coalition::grand(16);
+        b.iter(|| grand.subsets().map(|s| s.len()).sum::<usize>());
+    });
+}
+
+criterion_group!(benches, bench_shapley, bench_least_core, bench_subset_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Beyond-paper ablation: eviction policies.
+//!
+//! TVOF's one design choice is *who leaves* each iteration. This
+//! ablation runs the formation driver with four policies on the same
+//! scenarios — lowest reputation (TVOF), uniform random (RVOF),
+//! highest cost, lowest speed — and reports payoff, VO size and
+//! reputation of the selected VO for each.
+
+use gridvo_bench::{ascii_table, BenchArgs};
+use gridvo_core::mechanism::{EvictionPolicy, Mechanism};
+use gridvo_sim::experiments::paper_config;
+use gridvo_sim::instance_gen::ScenarioGenerator;
+use gridvo_sim::runner::{seeded_rng, Aggregate};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let cfg = args.table();
+    let generator = ScenarioGenerator::new(cfg.clone());
+    let mech_cfg = paper_config(&cfg);
+    let tasks = args.program_size();
+
+    let policies = [
+        ("lowest-reputation (TVOF)", EvictionPolicy::LowestReputation),
+        ("uniform-random (RVOF)", EvictionPolicy::UniformRandom),
+        ("highest-cost", EvictionPolicy::HighestCost),
+        ("lowest-speed", EvictionPolicy::LowestSpeed),
+    ];
+
+    let mut rows = Vec::new();
+    let mut csv = String::from("policy,payoff_mean,payoff_std,vo_size_mean,reputation_mean\n");
+    for (name, policy) in policies {
+        let mut payoffs = Vec::new();
+        let mut sizes = Vec::new();
+        let mut reps = Vec::new();
+        for &seed in &args.seeds {
+            let mut rng = seeded_rng(0xAB1A, seed);
+            let scenario = generator.scenario(tasks, &mut rng).expect("calibrated scenario");
+            let outcome = Mechanism::with_eviction(policy, mech_cfg)
+                .run(&scenario, &mut rng)
+                .expect("mechanism runs");
+            if let Some(vo) = outcome.selected {
+                payoffs.push(vo.payoff_share);
+                sizes.push(vo.size() as f64);
+                reps.push(vo.avg_reputation);
+            }
+        }
+        let p = Aggregate::of(&payoffs);
+        let s = Aggregate::of(&sizes);
+        let r = Aggregate::of(&reps);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", p.mean),
+            format!("{:.2}", s.mean),
+            format!("{:.4}", r.mean),
+        ]);
+        csv.push_str(&format!(
+            "{},{:.6},{:.6},{:.4},{:.6}\n",
+            name, p.mean, p.std, s.mean, r.mean
+        ));
+    }
+    println!("{}", ascii_table(&["policy", "payoff", "|VO|", "avg rep"], &rows));
+    args.write_artifact("ablation_eviction.csv", &csv).unwrap();
+}

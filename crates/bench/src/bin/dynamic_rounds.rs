@@ -1,0 +1,81 @@
+//! Beyond-paper: dynamic multi-round VO formation.
+//!
+//! GSPs have hidden reliabilities; trust accumulates from delivery
+//! outcomes across rounds. This experiment shows TVOF *learning*: the
+//! mean hidden reliability of its selected members rises over rounds
+//! as unreliable providers lose reputation, while RVOF shows no drift
+//! (random evictions ignore the accumulated evidence).
+
+use gridvo_bench::{ascii_table, BenchArgs};
+use gridvo_core::mechanism::Mechanism;
+use gridvo_sim::dynamic::{mean_reliability, simulate, success_rate, DynamicConfig};
+use gridvo_sim::experiments::paper_config;
+use gridvo_sim::runner::{seeded_rng, Aggregate};
+use gridvo_sim::TableI;
+use rand::Rng;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let rounds = if args.paper { 40 } else { 16 };
+    let tasks = 64;
+    let table = TableI {
+        task_sizes: vec![tasks],
+        trace_jobs: 5_000,
+        ..TableI::default()
+    };
+
+    let mech_cfg = paper_config(&table);
+    let mut csv = String::from(
+        "mechanism,seed,early_reliability,late_reliability,success_rate\n",
+    );
+    let mut rows = Vec::new();
+    for (name, mech) in
+        [("TVOF", Mechanism::tvof(mech_cfg)), ("RVOF", Mechanism::rvof(mech_cfg))]
+    {
+        let mut early = Vec::new();
+        let mut late = Vec::new();
+        let mut success = Vec::new();
+        for &seed in &args.seeds {
+            let mut rng = seeded_rng(0xD1A, seed);
+            // Hidden reliabilities: a third of the federation is flaky.
+            let reliabilities: Vec<f64> = (0..table.gsps)
+                .map(|g| if g % 3 == 2 { rng.gen_range(0.2..0.5) } else { rng.gen_range(0.9..1.0) })
+                .collect();
+            let cfg = DynamicConfig::new(table.clone(), rounds, tasks, reliabilities);
+            let records = simulate(&cfg, mech, &mut rng).expect("simulation runs");
+            let half = rounds / 2;
+            early.push(mean_reliability(&records[..half]));
+            late.push(mean_reliability(&records[half..]));
+            success.push(success_rate(&records));
+            csv.push_str(&format!(
+                "{},{},{:.4},{:.4},{:.4}\n",
+                name,
+                seed,
+                mean_reliability(&records[..half]),
+                mean_reliability(&records[half..]),
+                success_rate(&records)
+            ));
+        }
+        let (e, l, s) =
+            (Aggregate::of(&early), Aggregate::of(&late), Aggregate::of(&success));
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.4}", e.mean),
+            format!("{:.4}", l.mean),
+            format!("{:+.4}", l.mean - e.mean),
+            format!("{:.3}", s.mean),
+        ]);
+    }
+    println!(
+        "{}",
+        ascii_table(
+            &["mechanism", "early-half reliability", "late-half reliability", "drift", "success rate"],
+            &rows
+        )
+    );
+    println!(
+        "TVOF's positive drift is the dynamic-formation payoff: reputation built from\n\
+         delivery history steers selection away from unreliable providers."
+    );
+    args.write_artifact("dynamic_rounds.csv", &csv).unwrap();
+}

@@ -1,0 +1,43 @@
+//! Fig. 4 — individual payoffs obtained by TVOF on 10 programs of 256
+//! tasks: the max-payoff VO (the mechanism's selection) vs the VO with
+//! the highest payoff × average-reputation product from the same list
+//! `L`. The paper's observation: in most cases the two coincide.
+
+use gridvo_bench::{ascii_table, BenchArgs};
+use gridvo_sim::{experiments, report};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let cfg = args.table();
+    // The paper uses 10 programs regardless of sweep seeds.
+    let seeds: Vec<u64> = (1..=10).collect();
+    let rows = match experiments::selection_comparison(&cfg, args.program_size(), &seeds) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fig4 failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            vec![
+                format!("{}", i + 1),
+                format!("{:.2}", r.max_payoff_share),
+                format!("{:.2}", r.max_product_share),
+                r.same_vo.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(&["program", "max-payoff VO", "max-product VO", "same VO"], &table)
+    );
+    let coincide = rows.iter().filter(|r| r.same_vo).count();
+    println!("rules selected the same VO on {coincide}/{} programs", rows.len());
+
+    args.write_artifact("fig4_selection_rules.csv", &report::fig4_csv(&rows)).unwrap();
+    args.write_artifact("fig4_selection_rules.json", &report::to_json(&rows)).unwrap();
+}

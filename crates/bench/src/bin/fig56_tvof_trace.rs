@@ -1,0 +1,60 @@
+//! Figs. 5–6 — TVOF iteration traces on two programs (A and B) of 256
+//! tasks: per iteration, the candidate VO's size, individual payoff
+//! and average global reputation. The paper's observation: payoff and
+//! reputation both rise as low-reputation members are evicted, and the
+//! final (selected) VO sits at or near both maxima.
+
+use gridvo_bench::{ascii_table, BenchArgs};
+use gridvo_sim::{experiments, report};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let cfg = args.table();
+    for (label, seed) in [("A", 11u64), ("B", 22u64)] {
+        let trace = match experiments::iteration_trace(&cfg, args.program_size(), seed) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace {label} failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("== Program {label} (seed {seed}) — TVOF iterations ==");
+        let rows: Vec<Vec<String>> = trace
+            .tvof
+            .iter()
+            .map(|it| {
+                vec![
+                    it.iteration.to_string(),
+                    it.members.len().to_string(),
+                    it.feasible.to_string(),
+                    it.payoff_share.map_or("-".into(), |p| format!("{p:.2}")),
+                    format!("{:.4}", it.avg_reputation),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            ascii_table(&["iter", "|VO|", "feasible", "payoff", "avg rep"], &rows)
+        );
+        args.write_artifact(
+            &format!("fig56_program_{label}.csv"),
+            &report::trace_csv(&trace),
+        )
+        .unwrap();
+        args.write_artifact(
+            &format!("fig56_program_{label}.json"),
+            &report::to_json(&trace),
+        )
+        .unwrap();
+        args.write_artifact(
+            &format!("fig56_program_{label}.gnuplot"),
+            &report::trace_gnuplot(
+                &format!("fig56_program_{label}.csv"),
+                &format!("fig56_program_{label}.png"),
+                "TVOF",
+                &format!("TVOF iterations, program {label}"),
+            ),
+        )
+        .unwrap();
+    }
+}

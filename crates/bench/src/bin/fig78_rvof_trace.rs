@@ -1,0 +1,45 @@
+//! Figs. 7–8 — RVOF iteration traces on the same programs A and B as
+//! Figs. 5–6. The paper's observation: with random evictions the
+//! average global reputation wanders instead of increasing, so the
+//! max-payoff VO generally does *not* have the best
+//! payoff × reputation product.
+
+use gridvo_bench::{ascii_table, BenchArgs};
+use gridvo_sim::{experiments, report};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let cfg = args.table();
+    for (label, seed) in [("A", 11u64), ("B", 22u64)] {
+        let trace = match experiments::iteration_trace(&cfg, args.program_size(), seed) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace {label} failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("== Program {label} (seed {seed}) — RVOF iterations ==");
+        let rows: Vec<Vec<String>> = trace
+            .rvof
+            .iter()
+            .map(|it| {
+                vec![
+                    it.iteration.to_string(),
+                    it.members.len().to_string(),
+                    it.feasible.to_string(),
+                    it.payoff_share.map_or("-".into(), |p| format!("{p:.2}")),
+                    format!("{:.4}", it.avg_reputation),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            ascii_table(&["iter", "|VO|", "feasible", "payoff", "avg rep"], &rows)
+        );
+        args.write_artifact(
+            &format!("fig78_program_{label}.csv"),
+            &report::trace_csv(&trace),
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,22 @@
+//! Fig. 9 — mechanism execution time vs number of tasks.
+//!
+//! Thin per-figure entry point over the shared task sweep; run
+//! `sweep_all` to regenerate Figs. 1/2/3/9 in one pass instead.
+
+use gridvo_bench::BenchArgs;
+use gridvo_sim::{experiments, report};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let cfg = args.table();
+    let points = match experiments::task_sweep(&cfg, &args.seeds) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let csv = report::fig9_csv(&points);
+    print!("{csv}");
+    args.write_artifact("fig9_runtime.csv", &csv).unwrap();
+}

@@ -1,0 +1,75 @@
+//! Regenerate Figs. 1, 2, 3 and 9 in one pass: sweep program sizes,
+//! run TVOF and RVOF on the same scenarios, and emit all four CSVs
+//! plus a JSON archive.
+
+use gridvo_bench::{ascii_table, BenchArgs};
+use gridvo_sim::{experiments, report};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let cfg = args.table();
+    eprintln!(
+        "task sweep: sizes {:?}, {} seeds, m = {} GSPs{}",
+        cfg.task_sizes,
+        args.seeds.len(),
+        cfg.gsps,
+        if args.paper { " (paper scale)" } else { " (quick scale; --paper for full)" }
+    );
+    let points = match experiments::task_sweep(&cfg, &args.seeds) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.tasks.to_string(),
+                format!("{:.2}", p.tvof_payoff.mean),
+                format!("{:.2}", p.rvof_payoff.mean),
+                format!("{:.2}", p.tvof_vo_size.mean),
+                format!("{:.2}", p.rvof_vo_size.mean),
+                format!("{:.4}", p.tvof_reputation.mean),
+                format!("{:.4}", p.rvof_reputation.mean),
+                format!("{:.2}", p.tvof_seconds.mean),
+                format!("{:.2}", p.rvof_seconds.mean),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(
+            &[
+                "tasks",
+                "TVOF payoff",
+                "RVOF payoff",
+                "TVOF |VO|",
+                "RVOF |VO|",
+                "TVOF rep",
+                "RVOF rep",
+                "TVOF s",
+                "RVOF s"
+            ],
+            &rows
+        )
+    );
+
+    args.write_artifact("fig1_payoff.csv", &report::fig1_csv(&points)).unwrap();
+    args.write_artifact("fig2_vo_size.csv", &report::fig2_csv(&points)).unwrap();
+    args.write_artifact("fig3_reputation.csv", &report::fig3_csv(&points)).unwrap();
+    args.write_artifact("fig9_runtime.csv", &report::fig9_csv(&points)).unwrap();
+    args.write_artifact("sweep.json", &report::to_json(&points)).unwrap();
+    for (csv, png, title, label) in [
+        ("fig1_payoff.csv", "fig1.png", "Fig. 1 - GSP individual payoff", "Payoff per GSP"),
+        ("fig2_vo_size.csv", "fig2.png", "Fig. 2 - final VO size", "VO size (GSPs)"),
+        ("fig3_reputation.csv", "fig3.png", "Fig. 3 - average reputation", "Average global reputation"),
+        ("fig9_runtime.csv", "fig9.png", "Fig. 9 - execution time", "Seconds"),
+    ] {
+        let script = report::sweep_gnuplot(csv, png, title, label);
+        let name = png.replace(".png", ".gnuplot");
+        args.write_artifact(&name, &script).unwrap();
+    }
+}

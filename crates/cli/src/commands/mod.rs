@@ -1,0 +1,25 @@
+//! Subcommand implementations.
+
+pub mod dynamic;
+pub mod form;
+pub mod game;
+pub mod generate;
+pub mod solve;
+pub mod stats;
+
+use gridvo_core::FormationScenario;
+
+/// Load a scenario JSON file.
+pub(crate) fn load_scenario(path: &str) -> Result<FormationScenario, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read scenario {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("invalid scenario JSON in {path}: {e}"))
+}
+
+/// Write pretty JSON to a file, echoing the path.
+pub(crate) fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! `gridvo solve` — one task-assignment IP, standalone.
+
+use crate::args::Flags;
+use crate::commands::load_scenario;
+use gridvo_solver::branch_bound::{BranchBound, SolveStatus};
+use gridvo_solver::heuristics::{self, Heuristic};
+use gridvo_solver::parallel::ParallelBranchBound;
+
+const HELP: &str = "\
+usage: gridvo solve --scenario FILE [--members 0,2,5]
+                    [--solver exact|parallel|greedy|min-min|max-min|sufferage]
+
+Solves the task-assignment IP for the given VO (default: all GSPs),
+printing the status, optimal cost, per-GSP loads and task counts.";
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &["scenario", "members", "solver"], &[])
+        .map_err(|e| if e == "help" { HELP.to_string() } else { e })?;
+    let scenario = load_scenario(flags.require("scenario")?)?;
+    let members = flags
+        .list("members")?
+        .unwrap_or_else(|| (0..scenario.gsp_count()).collect());
+    for &m in &members {
+        if m >= scenario.gsp_count() {
+            return Err(format!("GSP {m} out of range (m = {})", scenario.gsp_count()));
+        }
+    }
+    let inst = scenario
+        .instance_for(&members)
+        .ok_or_else(|| "VO cannot host the program (constraint (13))".to_string())?;
+
+    let solver_name = flags.get("solver").unwrap_or("exact");
+    let solved = match solver_name {
+        "exact" => match BranchBound::default().solve_status(&inst) {
+            SolveStatus::Optimal(o) => {
+                println!("status: OPTIMAL (proven, {} nodes)", o.nodes);
+                Some((o.assignment, o.cost))
+            }
+            SolveStatus::Feasible(o) => {
+                println!("status: FEASIBLE (budget-truncated, {} nodes)", o.nodes);
+                Some((o.assignment, o.cost))
+            }
+            SolveStatus::Infeasible { nodes } => {
+                println!("status: INFEASIBLE (proven, {nodes} nodes)");
+                None
+            }
+            SolveStatus::Unknown { nodes } => {
+                println!("status: UNKNOWN (budget exhausted, {nodes} nodes)");
+                None
+            }
+        },
+        "parallel" => ParallelBranchBound::default().solve(&inst).map(|o| {
+            println!("status: {} ({} nodes)", if o.optimal { "OPTIMAL" } else { "FEASIBLE" }, o.nodes);
+            (o.assignment, o.cost)
+        }),
+        name => {
+            let kind = match name {
+                "greedy" => Heuristic::GreedyCost,
+                "min-min" => Heuristic::MinMin,
+                "max-min" => Heuristic::MaxMin,
+                "sufferage" => Heuristic::Sufferage,
+                other => return Err(format!("unknown solver {other:?}")),
+            };
+            heuristics::run(kind, &inst).map(|a| {
+                let c = a.total_cost(&inst);
+                println!("status: HEURISTIC-FEASIBLE (no optimality proof)");
+                (a, c)
+            })
+        }
+    };
+
+    let Some((assignment, cost)) = solved else {
+        println!("no feasible assignment for VO {members:?}");
+        return Ok(());
+    };
+    println!(
+        "VO {members:?}: cost {cost:.2} of payment {:.0} → value {:.2}",
+        inst.payment(),
+        (inst.payment() - cost).max(0.0)
+    );
+    println!("gsp  tasks  load (s)  deadline {:.0} s", inst.deadline());
+    let loads = assignment.loads(&inst);
+    let counts = assignment.task_counts(&inst);
+    for (i, &g) in members.iter().enumerate() {
+        println!("{g:>3}  {:>5}  {:>8.1}", counts[i], loads[i]);
+    }
+    Ok(())
+}

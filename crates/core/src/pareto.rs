@@ -1,0 +1,111 @@
+//! Pareto analysis of the bicriteria (payoff, reputation) objective.
+//!
+//! A GSP's preference over VOs is bicriteria (eqs. (16)–(17)): more
+//! payoff share *and* more average reputation. A VO is **Pareto
+//! optimal** within a candidate set when no other VO weakly beats it
+//! on both criteria and strictly on one. Theorem 2 claims TVOF's
+//! selected VO is Pareto optimal over the feasible list `L`; this
+//! module computes the front so the claim can be audited empirically.
+
+use crate::vo::VoRecord;
+
+/// The two criteria of one VO, as a point in objective space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectivePoint {
+    /// Per-member payoff share (eq. (16) numerator / |C|).
+    pub payoff: f64,
+    /// Average global reputation (eq. (17)).
+    pub reputation: f64,
+}
+
+impl From<&VoRecord> for ObjectivePoint {
+    fn from(v: &VoRecord) -> Self {
+        ObjectivePoint { payoff: v.payoff_share, reputation: v.avg_reputation }
+    }
+}
+
+/// `a` dominates `b`: at least as good on both criteria, strictly
+/// better on at least one.
+pub fn dominates(a: ObjectivePoint, b: ObjectivePoint) -> bool {
+    a.payoff >= b.payoff
+        && a.reputation >= b.reputation
+        && (a.payoff > b.payoff || a.reputation > b.reputation)
+}
+
+/// Indices of the Pareto-optimal VOs within `vos`.
+pub fn pareto_front(vos: &[VoRecord]) -> Vec<usize> {
+    let points: Vec<ObjectivePoint> = vos.iter().map(ObjectivePoint::from).collect();
+    (0..vos.len())
+        .filter(|&i| !points.iter().enumerate().any(|(j, &p)| j != i && dominates(p, points[i])))
+        .collect()
+}
+
+/// Whether `vos[index]` is Pareto optimal within `vos` — the audit of
+/// Theorem 2 for a selected VO.
+pub fn is_pareto_optimal(vos: &[VoRecord], index: usize) -> bool {
+    let target = ObjectivePoint::from(&vos[index]);
+    !vos.iter()
+        .enumerate()
+        .any(|(j, v)| j != index && dominates(ObjectivePoint::from(v), target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridvo_solver::Assignment;
+
+    fn vo(payoff: f64, rep: f64) -> VoRecord {
+        VoRecord {
+            members: vec![0],
+            assignment: Assignment::new(vec![0]),
+            cost: 0.0,
+            value: payoff,
+            payoff_share: payoff,
+            avg_reputation: rep,
+            optimal: true,
+        }
+    }
+
+    #[test]
+    fn dominance_definition() {
+        let a = ObjectivePoint { payoff: 2.0, reputation: 0.5 };
+        let b = ObjectivePoint { payoff: 1.0, reputation: 0.5 };
+        let c = ObjectivePoint { payoff: 1.0, reputation: 0.9 };
+        assert!(dominates(a, b));
+        assert!(!dominates(b, a));
+        assert!(!dominates(a, c) && !dominates(c, a)); // incomparable
+        assert!(!dominates(a, a)); // no strict improvement
+    }
+
+    #[test]
+    fn front_excludes_dominated() {
+        let vos = vec![vo(5.0, 0.2), vo(3.0, 0.8), vo(2.0, 0.5), vo(4.0, 0.2)];
+        let front = pareto_front(&vos);
+        assert_eq!(front, vec![0, 1]);
+        assert!(is_pareto_optimal(&vos, 0));
+        assert!(is_pareto_optimal(&vos, 1));
+        assert!(!is_pareto_optimal(&vos, 2));
+        assert!(!is_pareto_optimal(&vos, 3));
+    }
+
+    #[test]
+    fn duplicates_are_both_on_front() {
+        let vos = vec![vo(1.0, 1.0), vo(1.0, 1.0)];
+        assert_eq!(pareto_front(&vos), vec![0, 1]);
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        assert!(pareto_front(&[]).is_empty());
+        let vos = vec![vo(1.0, 0.1)];
+        assert_eq!(pareto_front(&vos), vec![0]);
+    }
+
+    #[test]
+    fn max_payoff_vo_is_always_on_front() {
+        // the mechanism's selection (max payoff) can never be dominated
+        let vos = vec![vo(5.0, 0.1), vo(4.9, 0.9), vo(1.0, 0.95)];
+        let front = pareto_front(&vos);
+        assert!(front.contains(&0));
+    }
+}

@@ -1,0 +1,268 @@
+//! Characteristic functions `v : 2^G → ℝ₊`.
+//!
+//! In the VO-formation game, evaluating `v(C)` means solving the
+//! task-assignment IP for the candidate VO `C` — expensive — so the
+//! trait is object-safe and a memoizing wrapper is provided. A
+//! table-backed implementation supports tests and the classic textbook
+//! games.
+
+use crate::coalition::Coalition;
+use crate::{GameError, Result};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// A transferable-utility coalitional game `(G, v)`.
+///
+/// Implementations must satisfy `v(∅) = 0` (the paper's eq. (15)
+/// convention); [`check_zero_empty`] audits this.
+pub trait CharacteristicFn {
+    /// Number of players `|G|`.
+    fn player_count(&self) -> usize;
+
+    /// The value `v(C)` of coalition `C`. Bits of `C` outside
+    /// `0..player_count()` must be ignored or rejected by panic;
+    /// callers only pass valid coalitions.
+    fn value(&self, coalition: Coalition) -> f64;
+
+    /// The grand coalition of this game.
+    fn grand(&self) -> Coalition {
+        Coalition::grand(self.player_count())
+    }
+}
+
+/// Audit `v(∅) = 0`.
+pub fn check_zero_empty<G: CharacteristicFn + ?Sized>(game: &G) -> bool {
+    game.value(Coalition::EMPTY) == 0.0
+}
+
+/// Audit superadditivity on all disjoint pairs — `O(3^n)`, small games
+/// only. Superadditive games make the grand coalition efficient; the
+/// VO game is *not* superadditive in general (the deadline can make a
+/// big VO feasible where small ones are not, and vice versa), which is
+/// why the paper's earlier work found empty cores.
+pub fn check_superadditive<G: CharacteristicFn + ?Sized>(game: &G, tol: f64) -> bool {
+    let n = game.player_count();
+    assert!(n <= 16, "superadditivity audit is O(3^n); cap at 16 players");
+    let grand = Coalition::grand(n);
+    for s in grand.subsets() {
+        if s.is_empty() {
+            continue;
+        }
+        let rest = grand.difference(s);
+        for t in rest.subsets() {
+            if t.is_empty() {
+                continue;
+            }
+            if game.value(s.union(t)) + tol < game.value(s) + game.value(t) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Explicit-table game: one value per coalition bitmask.
+#[derive(Debug, Clone)]
+pub struct TableGame {
+    players: usize,
+    values: Vec<f64>, // indexed by bitmask
+}
+
+impl TableGame {
+    /// Build from a table of length `2^players` (indexed by bitmask).
+    /// `values[0]` must be 0.
+    pub fn new(players: usize, values: Vec<f64>) -> Result<Self> {
+        if players > 20 {
+            return Err(GameError::TooManyPlayers { players, cap: 20 });
+        }
+        let expected = 1usize << players;
+        if values.len() != expected {
+            return Err(GameError::BadVectorLength { got: values.len(), expected });
+        }
+        Ok(TableGame { players, values })
+    }
+
+    /// Build by evaluating a closure on every coalition.
+    pub fn from_fn(players: usize, f: impl Fn(Coalition) -> f64) -> Result<Self> {
+        if players > 20 {
+            return Err(GameError::TooManyPlayers { players, cap: 20 });
+        }
+        let values =
+            (0..1u64 << players).map(|bits| f(Coalition::from_bits(bits))).collect();
+        Ok(TableGame { players, values })
+    }
+
+    /// The classic 3-player majority game: any coalition of ≥ 2 players
+    /// wins 1 — the textbook empty-core example.
+    pub fn majority3() -> Self {
+        TableGame::from_fn(3, |c| if c.len() >= 2 { 1.0 } else { 0.0 }).expect("3 players fit")
+    }
+
+    /// A unanimity game: `v(C) = 1` iff `C ⊇ carrier`.
+    pub fn unanimity(players: usize, carrier: Coalition) -> Result<Self> {
+        TableGame::from_fn(players, move |c| if carrier.is_subset_of(c) { 1.0 } else { 0.0 })
+    }
+
+    /// An additive (inessential) game: `v(C) = Σ_{i∈C} w_i`.
+    pub fn additive(weights: &[f64]) -> Result<Self> {
+        let ws = weights.to_vec();
+        TableGame::from_fn(weights.len(), move |c| c.members().map(|i| ws[i]).sum())
+    }
+}
+
+impl CharacteristicFn for TableGame {
+    fn player_count(&self) -> usize {
+        self.players
+    }
+
+    fn value(&self, coalition: Coalition) -> f64 {
+        self.values[coalition.bits() as usize]
+    }
+}
+
+/// Closure-backed game (no table materialization) — the adapter the
+/// VO-formation mechanism uses to expose "solve the IP for C" as a
+/// characteristic function.
+pub struct FnGame<F: Fn(Coalition) -> f64> {
+    players: usize,
+    f: F,
+}
+
+impl<F: Fn(Coalition) -> f64> FnGame<F> {
+    /// Wrap a closure as a game over `players` players.
+    pub fn new(players: usize, f: F) -> Self {
+        FnGame { players, f }
+    }
+}
+
+impl<F: Fn(Coalition) -> f64> CharacteristicFn for FnGame<F> {
+    fn player_count(&self) -> usize {
+        self.players
+    }
+
+    fn value(&self, coalition: Coalition) -> f64 {
+        (self.f)(coalition)
+    }
+}
+
+/// Memoizing wrapper: caches `v(C)` per coalition. Interior mutability
+/// keeps the [`CharacteristicFn`] interface immutable.
+pub struct MemoCharacteristic<G: CharacteristicFn> {
+    inner: G,
+    cache: RefCell<HashMap<u64, f64>>,
+}
+
+impl<G: CharacteristicFn> MemoCharacteristic<G> {
+    /// Wrap a game with a cache.
+    pub fn new(inner: G) -> Self {
+        MemoCharacteristic { inner, cache: RefCell::new(HashMap::new()) }
+    }
+
+    /// Number of distinct coalitions evaluated so far.
+    pub fn cache_size(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Unwrap the inner game.
+    pub fn into_inner(self) -> G {
+        self.inner
+    }
+}
+
+impl<G: CharacteristicFn> CharacteristicFn for MemoCharacteristic<G> {
+    fn player_count(&self) -> usize {
+        self.inner.player_count()
+    }
+
+    fn value(&self, coalition: Coalition) -> f64 {
+        if let Some(&v) = self.cache.borrow().get(&coalition.bits()) {
+            return v;
+        }
+        let v = self.inner.value(coalition);
+        self.cache.borrow_mut().insert(coalition.bits(), v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn table_game_round_trips() {
+        let g = TableGame::new(2, vec![0.0, 1.0, 2.0, 5.0]).unwrap();
+        assert_eq!(g.player_count(), 2);
+        assert_eq!(g.value(Coalition::EMPTY), 0.0);
+        assert_eq!(g.value(Coalition::singleton(1)), 2.0);
+        assert_eq!(g.value(Coalition::grand(2)), 5.0);
+        assert!(check_zero_empty(&g));
+    }
+
+    #[test]
+    fn table_game_validates() {
+        assert!(matches!(
+            TableGame::new(2, vec![0.0; 3]),
+            Err(GameError::BadVectorLength { got: 3, expected: 4 })
+        ));
+        assert!(matches!(
+            TableGame::new(30, vec![]),
+            Err(GameError::TooManyPlayers { .. })
+        ));
+    }
+
+    #[test]
+    fn majority_game_values() {
+        let g = TableGame::majority3();
+        assert_eq!(g.value(Coalition::singleton(0)), 0.0);
+        assert_eq!(g.value(Coalition::from_members([0, 2])), 1.0);
+        assert_eq!(g.value(Coalition::grand(3)), 1.0);
+        assert!(check_superadditive(&g, 1e-12));
+    }
+
+    #[test]
+    fn unanimity_game_values() {
+        let carrier = Coalition::from_members([0, 1]);
+        let g = TableGame::unanimity(3, carrier).unwrap();
+        assert_eq!(g.value(carrier), 1.0);
+        assert_eq!(g.value(Coalition::grand(3)), 1.0);
+        assert_eq!(g.value(Coalition::from_members([0, 2])), 0.0);
+    }
+
+    #[test]
+    fn additive_game_is_superadditive() {
+        let g = TableGame::additive(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(g.value(Coalition::grand(3)), 6.0);
+        assert!(check_superadditive(&g, 1e-12));
+    }
+
+    #[test]
+    fn non_superadditive_detected() {
+        // merging destroys value
+        let g = TableGame::new(2, vec![0.0, 1.0, 1.0, 0.5]).unwrap();
+        assert!(!check_superadditive(&g, 1e-12));
+    }
+
+    #[test]
+    fn fn_game_delegates() {
+        let g = FnGame::new(3, |c: Coalition| c.len() as f64);
+        assert_eq!(g.value(Coalition::grand(3)), 3.0);
+        assert_eq!(g.player_count(), 3);
+    }
+
+    #[test]
+    fn memo_caches_evaluations() {
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let g = FnGame::new(3, |c: Coalition| {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            c.len() as f64
+        });
+        let memo = MemoCharacteristic::new(g);
+        let c = Coalition::from_members([0, 1]);
+        assert_eq!(memo.value(c), 2.0);
+        assert_eq!(memo.value(c), 2.0);
+        assert_eq!(memo.value(c), 2.0);
+        assert_eq!(CALLS.load(Ordering::SeqCst), 1);
+        assert_eq!(memo.cache_size(), 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! Coalitions as bitsets.
+//!
+//! A coalition over at most 64 players is a `u64` whose bit `i` marks
+//! player `i`'s membership. All the exponential-time game computations
+//! (Shapley, core, least core) walk coalitions via the classic
+//! submask-enumeration tricks, so the representation is chosen for
+//! those to be branch-free and allocation-free.
+
+/// A set of players (GSPs), at most 64, as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coalition(u64);
+
+impl Coalition {
+    /// The empty coalition `∅`.
+    pub const EMPTY: Coalition = Coalition(0);
+
+    /// Build from a raw bitmask.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        Coalition(bits)
+    }
+
+    /// The raw bitmask.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// The grand coalition of `n` players (`n ≤ 64`).
+    #[inline]
+    pub fn grand(n: usize) -> Self {
+        assert!(n <= 64, "at most 64 players");
+        if n == 64 {
+            Coalition(u64::MAX)
+        } else {
+            Coalition((1u64 << n) - 1)
+        }
+    }
+
+    /// Coalition containing exactly one player.
+    #[inline]
+    pub fn singleton(player: usize) -> Self {
+        assert!(player < 64, "player index must be < 64");
+        Coalition(1u64 << player)
+    }
+
+    /// Build from an iterator of player indices.
+    pub fn from_members<I: IntoIterator<Item = usize>>(members: I) -> Self {
+        let mut bits = 0u64;
+        for m in members {
+            assert!(m < 64, "player index must be < 64");
+            bits |= 1u64 << m;
+        }
+        Coalition(bits)
+    }
+
+    /// Number of members `|C|`.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True for `∅`.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub const fn contains(self, player: usize) -> bool {
+        player < 64 && (self.0 >> player) & 1 == 1
+    }
+
+    /// `C ∪ {player}`.
+    #[inline]
+    pub const fn with(self, player: usize) -> Self {
+        Coalition(self.0 | (1u64 << player))
+    }
+
+    /// `C ∖ {player}`.
+    #[inline]
+    pub const fn without(self, player: usize) -> Self {
+        Coalition(self.0 & !(1u64 << player))
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: Coalition) -> Self {
+        Coalition(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersection(self, other: Coalition) -> Self {
+        Coalition(self.0 & other.0)
+    }
+
+    /// Set difference `self ∖ other`.
+    #[inline]
+    pub const fn difference(self, other: Coalition) -> Self {
+        Coalition(self.0 & !other.0)
+    }
+
+    /// True when `self ⊆ other`.
+    #[inline]
+    pub const fn is_subset_of(self, other: Coalition) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True when the two coalitions share no member.
+    #[inline]
+    pub const fn is_disjoint(self, other: Coalition) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterate member indices in increasing order.
+    pub fn members(self) -> Members {
+        Members(self.0)
+    }
+
+    /// Collect member indices.
+    pub fn to_vec(self) -> Vec<usize> {
+        self.members().collect()
+    }
+
+    /// Iterate **all** subsets of this coalition, including `∅` and the
+    /// coalition itself (`2^|C|` items).
+    pub fn subsets(self) -> Subsets {
+        Subsets { mask: self.0, current: 0, done: false }
+    }
+
+    /// Iterate the proper, non-empty subcoalitions (`∅` and `self`
+    /// excluded) — the index set of the core constraints.
+    pub fn proper_subsets(self) -> impl Iterator<Item = Coalition> {
+        let me = self;
+        self.subsets().filter(move |s| !s.is_empty() && *s != me)
+    }
+}
+
+impl std::fmt::Display for Coalition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, m) in self.members().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over a coalition's member indices.
+pub struct Members(u64);
+
+impl Iterator for Members {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(i)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Members {}
+
+/// Iterator over all submasks of a mask (the `(s − 1) & mask` walk).
+pub struct Subsets {
+    mask: u64,
+    current: u64,
+    done: bool,
+}
+
+impl Iterator for Subsets {
+    type Item = Coalition;
+
+    fn next(&mut self) -> Option<Coalition> {
+        if self.done {
+            return None;
+        }
+        let out = Coalition(self.current);
+        if self.current == self.mask {
+            self.done = true;
+        } else {
+            self.current = (self.current.wrapping_sub(self.mask)) & self.mask;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grand_and_singleton() {
+        let g = Coalition::grand(4);
+        assert_eq!(g.bits(), 0b1111);
+        assert_eq!(g.len(), 4);
+        let s = Coalition::singleton(2);
+        assert!(s.contains(2));
+        assert!(!s.contains(1));
+        assert!(s.is_subset_of(g));
+        assert_eq!(Coalition::grand(64).len(), 64);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = Coalition::from_members([0, 1, 2]);
+        let b = Coalition::from_members([2, 3]);
+        assert_eq!(a.union(b), Coalition::from_members([0, 1, 2, 3]));
+        assert_eq!(a.intersection(b), Coalition::singleton(2));
+        assert_eq!(a.difference(b), Coalition::from_members([0, 1]));
+        assert!(!a.is_disjoint(b));
+        assert!(a.difference(b).is_disjoint(b));
+    }
+
+    #[test]
+    fn with_without_round_trip() {
+        let c = Coalition::from_members([1, 3]);
+        assert_eq!(c.with(2).without(2), c);
+        assert_eq!(c.without(1), Coalition::singleton(3));
+        // removing a non-member is a no-op
+        assert_eq!(c.without(5), c);
+    }
+
+    #[test]
+    fn members_in_order() {
+        let c = Coalition::from_members([5, 1, 9]);
+        assert_eq!(c.to_vec(), vec![1, 5, 9]);
+        assert_eq!(c.members().len(), 3);
+    }
+
+    #[test]
+    fn subsets_enumerates_powerset() {
+        let c = Coalition::from_members([0, 2]);
+        let subs: Vec<u64> = c.subsets().map(|s| s.bits()).collect();
+        assert_eq!(subs.len(), 4);
+        assert!(subs.contains(&0));
+        assert!(subs.contains(&0b1));
+        assert!(subs.contains(&0b100));
+        assert!(subs.contains(&0b101));
+    }
+
+    #[test]
+    fn proper_subsets_excludes_extremes() {
+        let c = Coalition::from_members([0, 1, 2]);
+        let subs: Vec<Coalition> = c.proper_subsets().collect();
+        assert_eq!(subs.len(), 6); // 2^3 − 2
+        assert!(!subs.contains(&Coalition::EMPTY));
+        assert!(!subs.contains(&c));
+    }
+
+    #[test]
+    fn empty_subsets() {
+        let subs: Vec<Coalition> = Coalition::EMPTY.subsets().collect();
+        assert_eq!(subs, vec![Coalition::EMPTY]);
+        assert_eq!(Coalition::EMPTY.proper_subsets().count(), 0);
+    }
+
+    #[test]
+    fn display_formats_members() {
+        let c = Coalition::from_members([3, 1]);
+        assert_eq!(format!("{c}"), "{1, 3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn grand_caps_at_64() {
+        let _ = Coalition::grand(65);
+    }
+}

@@ -1,0 +1,290 @@
+//! Imputations, the core, and the least core.
+//!
+//! The paper (§II-C) assesses stability through the **core**: payoff
+//! vectors `ψ` with `Σ_{G∈S} ψ_G ≥ v(S)` for every coalition `S` and
+//! `Σ ψ_G = v(G)`. Their earlier work showed the VO-formation game's
+//! core can be **empty**, which motivates TVOF's weaker
+//! individual-stability notion. This module provides:
+//!
+//! * [`is_imputation`] / [`is_in_core`] — audits of a given payoff
+//!   vector (subset enumeration, `O(2^n)`);
+//! * [`least_core`] — the least-core LP `min ε  s.t.
+//!   x(S) ≥ v(S) − ε  ∀ S ⊊ G,  x(G) = v(G)`, solved by **constraint
+//!   generation**: a small LP over the currently active coalitions,
+//!   plus an `O(2^n)` separation oracle that finds the most violated
+//!   coalition. The core is non-empty iff the optimal `ε* ≤ 0`.
+//!
+//! Payoffs are restricted to `x ≥ 0`; for the monotone non-negative
+//! games of this crate (`v ≥ 0`, so core vectors dominate singletons
+//! `v({i}) ≥ 0`) this loses nothing on the `ε ≤ 0` side and only
+//! changes which least-core *point* is reported for badly unstable
+//! games.
+
+use crate::characteristic::CharacteristicFn;
+use crate::coalition::Coalition;
+use crate::simplex::{ConstraintOp, LinearProgram, LpOutcome};
+use crate::{GameError, Result};
+
+/// Player-count cap for the `O(2^n)` enumerations in this module.
+pub const ENUMERATION_CAP: usize = 22;
+
+/// True when `x` is an imputation: efficient (`Σx = v(G)`) and
+/// individually rational (`x_i ≥ v({i})`).
+pub fn is_imputation<G: CharacteristicFn + ?Sized>(game: &G, x: &[f64], tol: f64) -> Result<bool> {
+    let n = game.player_count();
+    if x.len() != n {
+        return Err(GameError::BadVectorLength { got: x.len(), expected: n });
+    }
+    let grand = Coalition::grand(n);
+    if (x.iter().sum::<f64>() - game.value(grand)).abs() > tol {
+        return Ok(false);
+    }
+    for (i, &xi) in x.iter().enumerate() {
+        if xi + tol < game.value(Coalition::singleton(i)) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// True when `x` lies in the core: an imputation no coalition can
+/// improve upon. Enumerates all `2^n − 2` proper coalitions.
+pub fn is_in_core<G: CharacteristicFn + ?Sized>(game: &G, x: &[f64], tol: f64) -> Result<bool> {
+    let n = game.player_count();
+    if n > ENUMERATION_CAP {
+        return Err(GameError::TooManyPlayers { players: n, cap: ENUMERATION_CAP });
+    }
+    if !is_imputation(game, x, tol)? {
+        return Ok(false);
+    }
+    Ok(most_violated(game, x).1 <= tol)
+}
+
+/// Separation oracle: the coalition `S` maximizing the excess
+/// `e(S, x) = v(S) − x(S)` over proper non-empty coalitions, and that
+/// maximal excess. A positive excess is a blocking coalition.
+pub fn most_violated<G: CharacteristicFn + ?Sized>(game: &G, x: &[f64]) -> (Coalition, f64) {
+    let n = game.player_count();
+    let grand = Coalition::grand(n);
+    let mut worst = (Coalition::EMPTY, f64::NEG_INFINITY);
+    for s in grand.proper_subsets() {
+        let xs: f64 = s.members().map(|i| x[i]).sum();
+        let excess = game.value(s) - xs;
+        if excess > worst.1 {
+            worst = (s, excess);
+        }
+    }
+    worst
+}
+
+/// Result of the least-core computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeastCore {
+    /// Optimal `ε*`: the smallest uniform relaxation making the core
+    /// constraints satisfiable. `ε* ≤ 0` ⇔ the core is non-empty.
+    pub epsilon: f64,
+    /// A payoff vector attaining `ε*`.
+    pub payoff: Vec<f64>,
+    /// Coalitions that ended up binding in the final LP.
+    pub active: Vec<Coalition>,
+    /// Constraint-generation rounds performed.
+    pub rounds: usize,
+}
+
+impl LeastCore {
+    /// Whether the core is non-empty (within `tol`).
+    pub fn core_nonempty(&self, tol: f64) -> bool {
+        self.epsilon <= tol
+    }
+}
+
+/// Compute the least core by constraint generation.
+///
+/// Variables: `x_1..x_n ≥ 0`, `ε = ε⁺ − ε⁻` (split to keep the LP in
+/// standard form). Start from singleton constraints plus efficiency;
+/// repeatedly solve, separate with [`most_violated`], and add the
+/// blocking coalition until none is violated by more than `tol`.
+pub fn least_core<G: CharacteristicFn + ?Sized>(game: &G, tol: f64) -> Result<LeastCore> {
+    let n = game.player_count();
+    if n > ENUMERATION_CAP {
+        return Err(GameError::TooManyPlayers { players: n, cap: ENUMERATION_CAP });
+    }
+    if n == 0 {
+        return Ok(LeastCore { epsilon: 0.0, payoff: Vec::new(), active: Vec::new(), rounds: 0 });
+    }
+    let grand = Coalition::grand(n);
+    let vg = game.value(grand);
+    // variables: x_0..x_{n-1}, eps_plus (n), eps_minus (n+1)
+    let nv = n + 2;
+    let mut active: Vec<Coalition> = (0..n).map(Coalition::singleton).collect();
+    if n == 1 {
+        // single player: x_0 = v(G); no proper coalitions, ε* = 0
+        return Ok(LeastCore {
+            epsilon: 0.0,
+            payoff: vec![vg],
+            active: Vec::new(),
+            rounds: 0,
+        });
+    }
+
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        // minimize ε = ε⁺ − ε⁻ ⇔ maximize ε⁻ − ε⁺
+        let mut obj = vec![0.0; nv];
+        obj[n] = -1.0;
+        obj[n + 1] = 1.0;
+        let mut lp = LinearProgram::maximize(obj);
+        // efficiency
+        let mut eff = vec![0.0; nv];
+        eff[..n].fill(1.0);
+        lp.constrain(eff, ConstraintOp::Eq, vg);
+        // x(S) + ε⁺ − ε⁻ ≥ v(S) for active S
+        for s in &active {
+            let mut row = vec![0.0; nv];
+            for i in s.members() {
+                row[i] = 1.0;
+            }
+            row[n] = 1.0;
+            row[n + 1] = -1.0;
+            lp.constrain(row, ConstraintOp::Ge, game.value(*s));
+        }
+        // Bound ε⁻ so the LP cannot ride ε⁻ → ∞ together with ε⁺:
+        // ε never needs to go below −v(G) (excesses are ≥ −v(G) on the
+        // x-simplex), so ε⁻ ≤ v(G) + 1 is harmless and keeps things
+        // bounded.
+        let mut cap = vec![0.0; nv];
+        cap[n + 1] = 1.0;
+        lp.constrain(cap, ConstraintOp::Le, vg.abs() + 1.0);
+
+        let (x, eps) = match lp.solve() {
+            LpOutcome::Optimal { x, value } => {
+                let eps = x[n] - x[n + 1];
+                debug_assert!((value - (x[n + 1] - x[n])).abs() < 1e-6);
+                (x, eps)
+            }
+            LpOutcome::Infeasible => {
+                return Err(GameError::LpAnomaly { context: "least-core master LP infeasible" })
+            }
+            LpOutcome::Unbounded => {
+                return Err(GameError::LpAnomaly { context: "least-core master LP unbounded" })
+            }
+        };
+        let payoff: Vec<f64> = x[..n].to_vec();
+        let (worst, excess) = most_violated(game, &payoff);
+        if excess <= eps + tol || rounds > (1usize << n) {
+            return Ok(LeastCore { epsilon: eps, payoff, active, rounds });
+        }
+        if !active.contains(&worst) {
+            active.push(worst);
+        } else {
+            // The oracle returned an already-active coalition: numeric
+            // stall; accept the current solution.
+            return Ok(LeastCore { epsilon: eps, payoff, active, rounds });
+        }
+    }
+}
+
+/// Convenience: is the core of `game` non-empty?
+pub fn core_nonempty<G: CharacteristicFn + ?Sized>(game: &G, tol: f64) -> Result<bool> {
+    Ok(least_core(game, tol)?.core_nonempty(tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characteristic::TableGame;
+
+    #[test]
+    fn additive_game_core_is_the_weight_vector() {
+        let g = TableGame::additive(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(is_in_core(&g, &[1.0, 2.0, 3.0], 1e-9).unwrap());
+        // shifting mass breaks the core
+        assert!(!is_in_core(&g, &[0.5, 2.5, 3.0], 1e-9).unwrap());
+        assert!(core_nonempty(&g, 1e-7).unwrap());
+    }
+
+    #[test]
+    fn majority_game_core_is_empty() {
+        let g = TableGame::majority3();
+        let lc = least_core(&g, 1e-7).unwrap();
+        // known: least-core ε* = 1/3 for the 3-player majority game
+        assert!((lc.epsilon - 1.0 / 3.0).abs() < 1e-6, "ε* = {}", lc.epsilon);
+        assert!(!lc.core_nonempty(1e-7));
+        // and the symmetric split is the least-core point
+        for &p in &lc.payoff {
+            assert!((p - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn unanimity_game_core_nonempty() {
+        let carrier = Coalition::from_members([0, 1]);
+        let g = TableGame::unanimity(3, carrier).unwrap();
+        // any split of 1 between players 0 and 1 is in the core
+        assert!(is_in_core(&g, &[0.5, 0.5, 0.0], 1e-9).unwrap());
+        assert!(is_in_core(&g, &[1.0, 0.0, 0.0], 1e-9).unwrap());
+        assert!(!is_in_core(&g, &[0.0, 0.0, 1.0], 1e-9).unwrap());
+        assert!(core_nonempty(&g, 1e-7).unwrap());
+    }
+
+    #[test]
+    fn imputation_requires_efficiency_and_rationality() {
+        let g = TableGame::new(2, vec![0.0, 1.0, 1.0, 4.0]).unwrap();
+        assert!(is_imputation(&g, &[2.0, 2.0], 1e-9).unwrap());
+        assert!(!is_imputation(&g, &[3.5, 0.0], 1e-9).unwrap()); // x_1 < v({1})
+        assert!(!is_imputation(&g, &[1.0, 1.0], 1e-9).unwrap()); // inefficient
+        assert!(is_imputation(&g, &[1.0], 1e-9).is_err()); // wrong length
+    }
+
+    #[test]
+    fn most_violated_finds_blocking_coalition() {
+        let g = TableGame::majority3();
+        // give everything to player 0: {1,2} blocks with excess 1
+        let (s, e) = most_violated(&g, &[1.0, 0.0, 0.0]);
+        assert_eq!(s, Coalition::from_members([1, 2]));
+        assert!((e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_core_payoff_is_efficient() {
+        let g = TableGame::new(
+            3,
+            vec![0.0, 1.0, 2.0, 4.0, 3.0, 5.0, 6.0, 10.0],
+        )
+        .unwrap();
+        let lc = least_core(&g, 1e-7).unwrap();
+        assert!((lc.payoff.iter().sum::<f64>() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_player_least_core() {
+        let g = TableGame::new(1, vec![0.0, 5.0]).unwrap();
+        let lc = least_core(&g, 1e-7).unwrap();
+        assert_eq!(lc.payoff, vec![5.0]);
+        assert!(lc.core_nonempty(1e-9));
+    }
+
+    #[test]
+    fn zero_game_trivially_stable() {
+        let g = TableGame::from_fn(3, |_| 0.0).unwrap();
+        assert!(is_in_core(&g, &[0.0, 0.0, 0.0], 1e-9).unwrap());
+        let lc = least_core(&g, 1e-7).unwrap();
+        assert!(lc.epsilon <= 1e-7);
+    }
+
+    #[test]
+    fn cap_enforced() {
+        struct Big;
+        impl CharacteristicFn for Big {
+            fn player_count(&self) -> usize {
+                30
+            }
+            fn value(&self, _c: Coalition) -> f64 {
+                0.0
+            }
+        }
+        assert!(is_in_core(&Big, &[0.0; 30], 1e-9).is_err());
+        assert!(least_core(&Big, 1e-9).is_err());
+    }
+}

@@ -1,0 +1,430 @@
+//! A small dense two-phase primal simplex.
+//!
+//! Solves `maximize cᵀx  s.t.  Ax {≤,≥,=} b,  x ≥ 0` on dense
+//! tableaus. Built for the least-core LPs of [`crate::core_solution`],
+//! which (thanks to constraint generation) stay at a few dozen rows and
+//! columns — a textbook tableau implementation with Bland's
+//! anti-cycling rule is simpler and more auditable than any external
+//! dependency.
+//!
+//! Phase 1 drives artificial variables out by minimizing their sum;
+//! phase 2 optimizes the real objective. Numbers are `f64` with an
+//! absolute tolerance; the LPs solved here are tiny and
+//! well-conditioned.
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// One linear constraint `coeffs · x  op  rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Coefficients, one per decision variable.
+    pub coeffs: Vec<f64>,
+    /// Comparison operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program: maximize `objective · x` over `x ≥ 0` subject to
+/// the constraints.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    /// Objective coefficients (maximization).
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal solution found.
+    Optimal {
+        /// Optimal decision variables.
+        x: Vec<f64>,
+        /// Optimal objective value.
+        value: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+}
+
+const TOL: f64 = 1e-9;
+
+impl LinearProgram {
+    /// Create a program with `n_vars` variables and the given
+    /// maximization objective.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        LinearProgram { objective, constraints: Vec::new() }
+    }
+
+    /// Append a constraint. Panics if the coefficient vector length
+    /// differs from the objective's (programming error).
+    pub fn constrain(&mut self, coeffs: Vec<f64>, op: ConstraintOp, rhs: f64) -> &mut Self {
+        assert_eq!(coeffs.len(), self.objective.len(), "constraint arity mismatch");
+        self.constraints.push(Constraint { coeffs, op, rhs });
+        self
+    }
+
+    /// Solve with the two-phase primal simplex.
+    pub fn solve(&self) -> LpOutcome {
+        Tableau::build(self).solve_with_objective(&self.objective)
+    }
+}
+
+/// Dense simplex tableau.
+///
+/// Layout: `rows × (total_cols + 1)`; the last column is the RHS.
+/// Column order: structural vars, then slacks/surpluses, then
+/// artificials. One basic variable per row, tracked in `basis`.
+struct Tableau {
+    rows: Vec<Vec<f64>>,
+    basis: Vec<usize>,
+    n_struct: usize,
+    n_all: usize,   // including artificials
+    artificial_start: usize,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Self {
+        let n_struct = lp.objective.len();
+        let m = lp.constraints.len();
+        // Count slack/surplus and artificial columns.
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        for c in &lp.constraints {
+            // Normalize to rhs ≥ 0 first (done during row fill); the
+            // effective op after normalization decides the columns.
+            let op = effective_op(c);
+            match op {
+                ConstraintOp::Le => n_slack += 1,
+                ConstraintOp::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                ConstraintOp::Eq => n_art += 1,
+            }
+        }
+        let n_total = n_struct + n_slack;
+        let n_all = n_total + n_art;
+        let mut rows = vec![vec![0.0; n_all + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_idx = n_struct;
+        let mut art_idx = n_total;
+        for (i, c) in lp.constraints.iter().enumerate() {
+            let flip = c.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            for (j, &a) in c.coeffs.iter().enumerate() {
+                rows[i][j] = sign * a;
+            }
+            rows[i][n_all] = sign * c.rhs;
+            match effective_op(c) {
+                ConstraintOp::Le => {
+                    rows[i][slack_idx] = 1.0;
+                    basis[i] = slack_idx;
+                    slack_idx += 1;
+                }
+                ConstraintOp::Ge => {
+                    rows[i][slack_idx] = -1.0;
+                    slack_idx += 1;
+                    rows[i][art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    art_idx += 1;
+                }
+                ConstraintOp::Eq => {
+                    rows[i][art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    art_idx += 1;
+                }
+            }
+        }
+        Tableau { rows, basis, n_struct, n_all, artificial_start: n_total }
+    }
+
+    /// Reduced objective row for a cost vector `c` (maximization):
+    /// `z_j − c_j` sign convention folded so that a *positive* entry
+    /// means "entering improves". Layout matches a tableau row, last
+    /// entry = current objective value.
+    fn reduced_objective(&self, cost: &[f64]) -> Vec<f64> {
+        let mut obj = vec![0.0; self.n_all + 1];
+        for (j, &cj) in cost.iter().enumerate() {
+            obj[j] = cj;
+        }
+        // subtract basic rows: obj ← obj − Σ c_B · row
+        for (i, &b) in self.basis.iter().enumerate() {
+            let cb = cost.get(b).copied().unwrap_or(0.0);
+            if cb != 0.0 {
+                for (o, r) in obj.iter_mut().zip(self.rows[i].iter()) {
+                    *o -= cb * r;
+                }
+            }
+        }
+        // stored value: obj[n_all] = −(current objective); we keep the
+        // negative and negate at read time in pivot_loop/value.
+        obj
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pv = self.rows[row][col];
+        for v in self.rows[row].iter_mut() {
+            *v /= pv;
+        }
+        for i in 0..self.rows.len() {
+            if i != row {
+                let factor = self.rows[i][col];
+                if factor != 0.0 {
+                    for j in 0..=self.n_all {
+                        let delta = factor * self.rows[row][j];
+                        self.rows[i][j] -= delta;
+                    }
+                }
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Run primal pivots until optimal or unbounded. `obj` is the
+    /// reduced objective row (entering column = positive entry);
+    /// columns at or beyond `col_limit` never enter (phase 2 uses this
+    /// to lock artificial variables out of the basis).
+    fn pivot_loop(&mut self, obj: &mut [f64], col_limit: usize) -> PivotResult {
+        loop {
+            // Bland's rule: smallest index with positive reduced cost.
+            let entering = (0..col_limit).find(|&j| obj[j] > TOL);
+            let Some(col) = entering else {
+                return PivotResult::Optimal;
+            };
+            // Ratio test.
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..self.rows.len() {
+                let a = self.rows[i][col];
+                if a > TOL {
+                    let ratio = self.rows[i][self.n_all] / a;
+                    let better = match leave {
+                        None => true,
+                        Some((li, lr)) => {
+                            ratio < lr - TOL || (ratio < lr + TOL && self.basis[i] < self.basis[li])
+                        }
+                    };
+                    if better {
+                        leave = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((row, _)) = leave else {
+                return PivotResult::Unbounded;
+            };
+            self.pivot(row, col);
+            // update objective row
+            let factor = obj[col];
+            for (o, r) in obj.iter_mut().zip(self.rows[row].iter()) {
+                *o -= factor * r;
+            }
+        }
+    }
+
+    fn extract(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.n_struct];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.n_struct {
+                x[b] = self.rows[i][self.n_all];
+            }
+        }
+        x
+    }
+}
+
+#[derive(PartialEq)]
+enum PivotResult {
+    Optimal,
+    Unbounded,
+}
+
+fn effective_op(c: &Constraint) -> ConstraintOp {
+    if c.rhs < 0.0 {
+        match c.op {
+            ConstraintOp::Le => ConstraintOp::Ge,
+            ConstraintOp::Ge => ConstraintOp::Le,
+            ConstraintOp::Eq => ConstraintOp::Eq,
+        }
+    } else {
+        c.op
+    }
+}
+
+// ---- public driver ----
+
+impl Tableau {
+    fn solve_with_objective(mut self, objective: &[f64]) -> LpOutcome {
+        let m = self.rows.len();
+        if self.artificial_start < self.n_all {
+            let mut cost = vec![0.0; self.n_all];
+            for c in cost.iter_mut().skip(self.artificial_start) {
+                *c = -1.0;
+            }
+            let mut obj = self.reduced_objective(&cost);
+            if self.pivot_loop(&mut obj, self.n_all) == PivotResult::Unbounded {
+                return LpOutcome::Infeasible;
+            }
+            // phase-1 optimum = Σ artificials at optimum, read from the
+            // value slot: obj[n_all] accumulated −value; recompute
+            // directly from basics for robustness.
+            let art_sum: f64 = self
+                .basis
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b >= self.artificial_start)
+                .map(|(i, _)| self.rows[i][self.n_all])
+                .sum();
+            if art_sum > 1e-7 {
+                return LpOutcome::Infeasible;
+            }
+            for i in 0..m {
+                if self.basis[i] >= self.artificial_start {
+                    if let Some(j) =
+                        (0..self.artificial_start).find(|&j| self.rows[i][j].abs() > TOL)
+                    {
+                        self.pivot(i, j);
+                    }
+                }
+            }
+        }
+        let mut cost = vec![0.0; self.n_all];
+        cost[..objective.len()].copy_from_slice(objective);
+        let mut obj = self.reduced_objective(&cost);
+        // Artificials are locked out of the basis via the column limit.
+        match self.pivot_loop(&mut obj, self.artificial_start) {
+            PivotResult::Unbounded => LpOutcome::Unbounded,
+            PivotResult::Optimal => {
+                let x = self.extract();
+                let value: f64 =
+                    x.iter().zip(objective.iter()).map(|(a, b)| a * b).sum();
+                LpOutcome::Optimal { x, value }
+            }
+        }
+    }
+}
+
+/// Solve an LP (used by [`LinearProgram::solve`]).
+pub fn solve(lp: &LinearProgram) -> LpOutcome {
+    Tableau::build(lp).solve_with_objective(&lp.objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(lp: &LinearProgram) -> (Vec<f64>, f64) {
+        match solve(lp) {
+            LpOutcome::Optimal { x, value } => (x, value),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_max_le() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), 36
+        let mut lp = LinearProgram::maximize(vec![3.0, 5.0]);
+        lp.constrain(vec![1.0, 0.0], ConstraintOp::Le, 4.0);
+        lp.constrain(vec![0.0, 2.0], ConstraintOp::Le, 12.0);
+        lp.constrain(vec![3.0, 2.0], ConstraintOp::Le, 18.0);
+        let (x, v) = optimal(&lp);
+        assert!((v - 36.0).abs() < 1e-7);
+        assert!((x[0] - 2.0).abs() < 1e-7);
+        assert!((x[1] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + y = 5, x ≤ 3 → value 5
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.constrain(vec![1.0, 1.0], ConstraintOp::Eq, 5.0);
+        lp.constrain(vec![1.0, 0.0], ConstraintOp::Le, 3.0);
+        let (x, v) = optimal(&lp);
+        assert!((v - 5.0).abs() < 1e-7);
+        assert!((x[0] + x[1] - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // min x + 2y ⇔ max −x − 2y s.t. x + y ≥ 4, y ≥ 1 → x=3,y=1, −5
+        let mut lp = LinearProgram::maximize(vec![-1.0, -2.0]);
+        lp.constrain(vec![1.0, 1.0], ConstraintOp::Ge, 4.0);
+        lp.constrain(vec![0.0, 1.0], ConstraintOp::Ge, 1.0);
+        let (x, v) = optimal(&lp);
+        assert!((v + 5.0).abs() < 1e-7);
+        assert!((x[0] - 3.0).abs() < 1e-7);
+        assert!((x[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 1 and x ≥ 2
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.constrain(vec![1.0], ConstraintOp::Le, 1.0);
+        lp.constrain(vec![1.0], ConstraintOp::Ge, 2.0);
+        assert_eq!(solve(&lp), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with only x ≥ 1
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.constrain(vec![1.0], ConstraintOp::Ge, 1.0);
+        assert_eq!(solve(&lp), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // −x ≤ −2 ⇔ x ≥ 2; max −x → x = 2
+        let mut lp = LinearProgram::maximize(vec![-1.0]);
+        lp.constrain(vec![-1.0], ConstraintOp::Le, -2.0);
+        let (x, v) = optimal(&lp);
+        assert!((x[0] - 2.0).abs() < 1e-7);
+        assert!((v + 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // multiple redundant constraints through the same vertex
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.constrain(vec![1.0, 0.0], ConstraintOp::Le, 1.0);
+        lp.constrain(vec![1.0, 0.0], ConstraintOp::Le, 1.0);
+        lp.constrain(vec![0.0, 1.0], ConstraintOp::Le, 1.0);
+        lp.constrain(vec![1.0, 1.0], ConstraintOp::Le, 2.0);
+        let (_, v) = optimal(&lp);
+        assert!((v - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_objective_feasible_point() {
+        let mut lp = LinearProgram::maximize(vec![0.0, 0.0]);
+        lp.constrain(vec![1.0, 1.0], ConstraintOp::Eq, 3.0);
+        let (x, v) = optimal(&lp);
+        assert!(v.abs() < 1e-9);
+        assert!((x[0] + x[1] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn free_variable_via_split() {
+        // min ε s.t. ε ≥ −3 encoded with ε = p − m:
+        // max −(p − m) s.t. p − m ≥ −3, p,m ≥ 0, and bound m ≤ 10 to
+        // keep it bounded → optimal ε = −3.
+        let mut lp = LinearProgram::maximize(vec![-1.0, 1.0]);
+        lp.constrain(vec![1.0, -1.0], ConstraintOp::Ge, -3.0);
+        lp.constrain(vec![0.0, 1.0], ConstraintOp::Le, 10.0);
+        let (x, v) = optimal(&lp);
+        assert!((v - 3.0).abs() < 1e-7, "ε* = −3 ⇒ objective 3, got {v} at {x:?}");
+    }
+}

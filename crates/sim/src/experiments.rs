@@ -1,0 +1,303 @@
+//! One experiment definition per paper figure.
+//!
+//! Each function reproduces the *procedure* behind a figure; rendering
+//! (CSV/JSON) lives in [`crate::report`], and the runnable binaries in
+//! `gridvo-bench` glue the two together.
+
+use crate::config::TableI;
+use crate::instance_gen::ScenarioGenerator;
+use crate::runner::{run_seeds, Aggregate};
+use crate::{Result, SimError};
+use gridvo_core::mechanism::{FormationConfig, Mechanism, SolverChoice};
+use gridvo_core::{FormationOutcome, FormationScenario};
+use gridvo_solver::branch_bound::BranchBound;
+use serde::{Deserialize, Serialize};
+
+/// Mechanism configuration used by all experiments: exact B&B with the
+/// configured node budget, paper defaults elsewhere.
+pub fn paper_config(cfg: &TableI) -> FormationConfig {
+    FormationConfig {
+        solver: SolverChoice::Exact(BranchBound {
+            max_nodes: cfg.solver_node_budget,
+            seed_incumbent: true,
+        }),
+        ..Default::default()
+    }
+}
+
+/// Per-seed observations of one (mechanism, scenario) run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Payoff share of the selected VO (0 when none).
+    pub payoff_share: f64,
+    /// Size of the selected VO (0 when none).
+    pub vo_size: usize,
+    /// Average reputation of the selected VO (0 when none).
+    pub avg_reputation: f64,
+    /// Wall-clock seconds for the whole mechanism run.
+    pub seconds: f64,
+    /// Whether a VO was selected at all.
+    pub formed: bool,
+}
+
+impl RunMetrics {
+    fn from_outcome(outcome: &FormationOutcome) -> RunMetrics {
+        match &outcome.selected {
+            Some(vo) => RunMetrics {
+                payoff_share: vo.payoff_share,
+                vo_size: vo.size(),
+                avg_reputation: vo.avg_reputation,
+                seconds: outcome.total_seconds,
+                formed: true,
+            },
+            None => RunMetrics {
+                payoff_share: 0.0,
+                vo_size: 0,
+                avg_reputation: 0.0,
+                seconds: outcome.total_seconds,
+                formed: false,
+            },
+        }
+    }
+}
+
+/// One row of the task-size sweep — the data behind Figs. 1, 2, 3 and 9.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Program size (#tasks).
+    pub tasks: usize,
+    /// Fig. 1 — individual payoff of the selected VO.
+    pub tvof_payoff: Aggregate,
+    /// Fig. 1 baseline.
+    pub rvof_payoff: Aggregate,
+    /// Fig. 2 — size of the final VO.
+    pub tvof_vo_size: Aggregate,
+    /// Fig. 2 baseline.
+    pub rvof_vo_size: Aggregate,
+    /// Fig. 3 — average global reputation of the final VO.
+    pub tvof_reputation: Aggregate,
+    /// Fig. 3 baseline.
+    pub rvof_reputation: Aggregate,
+    /// Fig. 9 — mechanism execution time (seconds).
+    pub tvof_seconds: Aggregate,
+    /// Fig. 9 baseline.
+    pub rvof_seconds: Aggregate,
+    /// Seeds that produced a VO under both mechanisms.
+    pub formed_runs: usize,
+}
+
+/// Figs. 1/2/3/9 — sweep program sizes, running TVOF and RVOF on the
+/// *same* scenarios, `seeds.len()` scenarios per size.
+pub fn task_sweep(cfg: &TableI, seeds: &[u64]) -> Result<Vec<SweepPoint>> {
+    let generator = ScenarioGenerator::new(cfg.clone());
+    let mech_cfg = paper_config(cfg);
+    let mut points = Vec::with_capacity(cfg.task_sizes.len());
+    for (size_idx, &tasks) in cfg.task_sizes.iter().enumerate() {
+        let results = run_seeds(0xF1965 + size_idx as u64, seeds, |_seed, rng| {
+            let scenario = generator.scenario(tasks, rng)?;
+            let tvof = Mechanism::tvof(mech_cfg)
+                .run(&scenario, rng)
+                .map_err(SimError::from)?;
+            let rvof = Mechanism::rvof(mech_cfg)
+                .run(&scenario, rng)
+                .map_err(SimError::from)?;
+            Ok::<_, SimError>((
+                RunMetrics::from_outcome(&tvof),
+                RunMetrics::from_outcome(&rvof),
+            ))
+        });
+        let mut tv = Vec::new();
+        let mut rv = Vec::new();
+        for r in results {
+            let (t, v) = r?;
+            tv.push(t);
+            rv.push(v);
+        }
+        let formed_runs = tv
+            .iter()
+            .zip(rv.iter())
+            .filter(|(a, b)| a.formed && b.formed)
+            .count();
+        let agg = |xs: &[RunMetrics], f: fn(&RunMetrics) -> f64| {
+            Aggregate::of(&xs.iter().filter(|m| m.formed).map(f).collect::<Vec<_>>())
+        };
+        points.push(SweepPoint {
+            tasks,
+            tvof_payoff: agg(&tv, |m| m.payoff_share),
+            rvof_payoff: agg(&rv, |m| m.payoff_share),
+            tvof_vo_size: agg(&tv, |m| m.vo_size as f64),
+            rvof_vo_size: agg(&rv, |m| m.vo_size as f64),
+            tvof_reputation: agg(&tv, |m| m.avg_reputation),
+            rvof_reputation: agg(&rv, |m| m.avg_reputation),
+            tvof_seconds: Aggregate::of(&tv.iter().map(|m| m.seconds).collect::<Vec<_>>()),
+            rvof_seconds: Aggregate::of(&rv.iter().map(|m| m.seconds).collect::<Vec<_>>()),
+            formed_runs,
+        });
+    }
+    Ok(points)
+}
+
+/// One program's row in Fig. 4: the payoff share of the VO selected by
+/// the paper's max-payoff rule vs the VO with the highest
+/// payoff × reputation product, from the same TVOF run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectionComparison {
+    /// Seed identifying the program.
+    pub seed: u64,
+    /// Payoff share of the max-payoff VO (the mechanism's choice).
+    pub max_payoff_share: f64,
+    /// Payoff share of the max-product VO.
+    pub max_product_share: f64,
+    /// Whether both rules picked the same VO.
+    pub same_vo: bool,
+}
+
+/// Fig. 4 — per-program comparison of selection rules on `tasks`-task
+/// programs (the paper uses 10 programs of 256 tasks).
+pub fn selection_comparison(
+    cfg: &TableI,
+    tasks: usize,
+    seeds: &[u64],
+) -> Result<Vec<SelectionComparison>> {
+    let generator = ScenarioGenerator::new(cfg.clone());
+    let mech_cfg = paper_config(cfg);
+    let results = run_seeds(0xF4, seeds, |seed, rng| {
+        let scenario = generator.scenario(tasks, rng)?;
+        let outcome = Mechanism::tvof(mech_cfg)
+            .run(&scenario, rng)
+            .map_err(SimError::from)?;
+        let selected = outcome.selected.as_ref();
+        let product = outcome.best_product_vo();
+        Ok::<_, SimError>(SelectionComparison {
+            seed,
+            max_payoff_share: selected.map_or(0.0, |v| v.payoff_share),
+            max_product_share: product.map_or(0.0, |v| v.payoff_share),
+            same_vo: match (selected, product) {
+                (Some(a), Some(b)) => a.members == b.members,
+                _ => false,
+            },
+        })
+    });
+    results.into_iter().collect()
+}
+
+/// Figs. 5–8 — full iteration traces of TVOF and RVOF on one program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracePair {
+    /// Program size.
+    pub tasks: usize,
+    /// Seed identifying the program.
+    pub seed: u64,
+    /// TVOF iterations (Figs. 5–6 data).
+    pub tvof: Vec<gridvo_core::IterationRecord>,
+    /// RVOF iterations (Figs. 7–8 data).
+    pub rvof: Vec<gridvo_core::IterationRecord>,
+}
+
+/// Run both mechanisms on the same scenario and keep the full traces.
+pub fn iteration_trace(cfg: &TableI, tasks: usize, seed: u64) -> Result<TracePair> {
+    let generator = ScenarioGenerator::new(cfg.clone());
+    let mech_cfg = paper_config(cfg);
+    let mut rng = crate::runner::seeded_rng(0xF5678, seed);
+    let scenario = generator.scenario(tasks, &mut rng)?;
+    let tvof = Mechanism::tvof(mech_cfg).run(&scenario, &mut rng)?;
+    let rvof = Mechanism::rvof(mech_cfg).run(&scenario, &mut rng)?;
+    Ok(TracePair { tasks, seed, tvof: tvof.iterations, rvof: rvof.iterations })
+}
+
+/// Run one mechanism on a prepared scenario (used by benches that want
+/// to time the mechanism without scenario-generation noise).
+pub fn run_on_scenario(
+    scenario: &FormationScenario,
+    mech: Mechanism,
+    seed: u64,
+) -> Result<FormationOutcome> {
+    let mut rng = crate::runner::seeded_rng(0xF9, seed);
+    Ok(mech.run(scenario, &mut rng)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> TableI {
+        TableI {
+            task_sizes: vec![12, 18],
+            gsps: 4,
+            trace_jobs: 1500,
+            // small programs need a looser deadline than the paper's
+            // n/1000 scaling provides (see instance_gen calibration)
+            deadline_factor_range: (4.0, 16.0),
+            ..TableI::small()
+        }
+    }
+
+    #[test]
+    fn task_sweep_produces_one_point_per_size() {
+        let cfg = tiny_cfg();
+        let points = task_sweep(&cfg, &[1, 2, 3]).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].tasks, 12);
+        assert_eq!(points[1].tasks, 18);
+        for p in &points {
+            assert!(p.formed_runs > 0, "no VO formed at size {}", p.tasks);
+            assert!(p.tvof_payoff.mean > 0.0);
+            assert!(p.rvof_payoff.mean > 0.0);
+            // Fig. 2 sanity: VO sizes within [1, m]
+            assert!(p.tvof_vo_size.mean >= 1.0 && p.tvof_vo_size.mean <= 4.0);
+        }
+    }
+
+    #[test]
+    fn fig3_shape_tvof_reputation_at_least_rvof() {
+        // The paper's headline qualitative claim. With few seeds this
+        // is noisy, so assert on the sum across sizes rather than
+        // pointwise.
+        let cfg = tiny_cfg();
+        let points = task_sweep(&cfg, &[1, 2, 3, 4, 5, 6]).unwrap();
+        let tv: f64 = points.iter().map(|p| p.tvof_reputation.mean).sum();
+        let rv: f64 = points.iter().map(|p| p.rvof_reputation.mean).sum();
+        assert!(
+            tv >= rv - 1e-9,
+            "TVOF mean reputation {tv} fell below RVOF {rv} across the sweep"
+        );
+    }
+
+    #[test]
+    fn selection_comparison_has_one_row_per_seed() {
+        let cfg = tiny_cfg();
+        let rows = selection_comparison(&cfg, 12, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            // the product VO's payoff can never exceed the max-payoff VO's
+            assert!(r.max_product_share <= r.max_payoff_share + 1e-9);
+        }
+    }
+
+    #[test]
+    fn iteration_trace_has_both_mechanisms() {
+        let cfg = tiny_cfg();
+        let t = iteration_trace(&cfg, 12, 1).unwrap();
+        assert!(!t.tvof.is_empty());
+        assert!(!t.rvof.is_empty());
+        // iteration 0 is the grand coalition in both
+        assert_eq!(t.tvof[0].members.len(), 4);
+        assert_eq!(t.rvof[0].members.len(), 4);
+        // TVOF trace sizes strictly decrease
+        for w in t.tvof.windows(2) {
+            assert_eq!(w[1].members.len() + 1, w[0].members.len());
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let cfg = tiny_cfg();
+        let a = iteration_trace(&cfg, 12, 5).unwrap();
+        let b = iteration_trace(&cfg, 12, 5).unwrap();
+        assert_eq!(a.tvof.len(), b.tvof.len());
+        for (x, y) in a.tvof.iter().zip(b.tvof.iter()) {
+            assert_eq!(x.members, y.members);
+            assert_eq!(x.evicted, y.evicted);
+        }
+    }
+}

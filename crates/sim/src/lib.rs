@@ -1,0 +1,85 @@
+//! # gridvo-sim
+//!
+//! Experiment harness reproducing the evaluation of Mashayekhy &
+//! Grosu (ICPP 2012, §IV): Table-I instance generation on top of the
+//! synthetic Atlas workload, the Braun-et-al. cost model, a multi-seed
+//! runner, and one experiment definition per paper figure.
+//!
+//! | Paper artifact | Here |
+//! |---|---|
+//! | Table I (simulation parameters) | [`config::TableI`] + generation audits |
+//! | Fig. 1 (payoff vs #tasks) | [`experiments::task_sweep`] |
+//! | Fig. 2 (final VO size)    | [`experiments::task_sweep`] |
+//! | Fig. 3 (average reputation) | [`experiments::task_sweep`] |
+//! | Fig. 4 (per-program payoffs, selection rules) | [`experiments::selection_comparison`] |
+//! | Figs. 5–8 (iteration traces) | [`experiments::iteration_trace`] |
+//! | Fig. 9 (execution time) | [`experiments::task_sweep`] |
+//!
+//! ## Quick example
+//!
+//! ```
+//! use gridvo_sim::config::TableI;
+//! use gridvo_sim::instance_gen::ScenarioGenerator;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let cfg = TableI { task_sizes: vec![32], gsps: 4, ..TableI::small() };
+//! let gen = ScenarioGenerator::new(cfg);
+//! let scenario = gen.scenario(32, &mut rng).unwrap();
+//! assert_eq!(scenario.gsp_count(), 4);
+//! assert_eq!(scenario.task_count(), 32);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod braun;
+pub mod config;
+pub mod dynamic;
+pub mod experiments;
+pub mod instance_gen;
+pub mod report;
+pub mod runner;
+
+pub use config::TableI;
+pub use instance_gen::ScenarioGenerator;
+
+/// Errors from the experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// No feasible scenario could be generated within the calibration
+    /// attempt budget.
+    CalibrationFailed {
+        /// Task count requested.
+        tasks: usize,
+        /// Attempts made.
+        attempts: usize,
+    },
+    /// The core mechanism failed.
+    Core(String),
+    /// The synthetic trace had no qualifying job.
+    NoQualifyingJob,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::CalibrationFailed { tasks, attempts } => {
+                write!(f, "no feasible scenario for {tasks} tasks after {attempts} attempts")
+            }
+            SimError::Core(e) => write!(f, "mechanism error: {e}"),
+            SimError::NoQualifyingJob => write!(f, "trace contains no large completed job"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<gridvo_core::CoreError> for SimError {
+    fn from(e: gridvo_core::CoreError) -> Self {
+        SimError::Core(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SimError>;

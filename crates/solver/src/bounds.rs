@@ -1,0 +1,209 @@
+//! Precomputed lower-bound tables for the branch-and-bound search.
+//!
+//! All bounds are *admissible* (never exceed the true optimal
+//! completion cost of a partial assignment), so pruning on them
+//! preserves exactness:
+//!
+//! * **cost bound** — committed cost + Σ over unassigned tasks of the
+//!   per-task minimum cost (each task must run somewhere, and nowhere
+//!   cheaper than its cheapest GSP);
+//! * **participation penalty** — each currently-idle GSP must
+//!   eventually receive a task (constraint (13)), paying at least
+//!   `min_T (c(T,G) − min_{G'} c(T,G'))` above the relaxed bound;
+//! * **time bound** — Σ over unassigned tasks of the per-task minimum
+//!   execution time can never exceed the total remaining deadline
+//!   slack Σ_G (d − load_G); if it does, no completion satisfies
+//!   constraint (11).
+
+use crate::instance::AssignmentInstance;
+
+/// Static tables computed once per instance and shared by the
+/// sequential and parallel searches.
+#[derive(Debug, Clone)]
+pub struct BoundTables {
+    /// Order in which tasks are branched on: decreasing minimum
+    /// execution time, so big, deadline-critical tasks are placed
+    /// first and time-infeasible subtrees die early.
+    pub order: Vec<usize>,
+    /// `suffix_min_cost[i]` = Σ over `order[i..]` of per-task min cost.
+    /// Entry `n` is 0.
+    pub suffix_min_cost: Vec<f64>,
+    /// `suffix_min_time[i]` = Σ over `order[i..]` of per-task min time.
+    pub suffix_min_time: Vec<f64>,
+    /// Per-task (original index) minimum cost over GSPs.
+    pub min_cost: Vec<f64>,
+    /// Per-GSP participation penalty: cheapest detour cost of serving
+    /// this GSP one task, relative to that task's min cost.
+    pub gsp_penalty: Vec<f64>,
+    /// For each task (original index), GSP indices sorted by ascending
+    /// cost — the child expansion order (cheapest first ⇒ good
+    /// incumbents early). Flat `tasks × gsps`, entries fit in `u16`.
+    pub child_order: Vec<u16>,
+}
+
+impl BoundTables {
+    /// Build all tables for `inst`.
+    pub fn new(inst: &AssignmentInstance) -> Self {
+        let n = inst.tasks();
+        let k = inst.gsps();
+
+        let min_cost: Vec<f64> = (0..n).map(|t| inst.min_cost(t)).collect();
+        let min_time: Vec<f64> = (0..n).map(|t| inst.min_time(t)).collect();
+
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            min_time[b].partial_cmp(&min_time[a]).expect("finite times").then(a.cmp(&b))
+        });
+
+        let mut suffix_min_cost = vec![0.0; n + 1];
+        let mut suffix_min_time = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            suffix_min_cost[i] = suffix_min_cost[i + 1] + min_cost[order[i]];
+            suffix_min_time[i] = suffix_min_time[i + 1] + min_time[order[i]];
+        }
+
+        let mut gsp_penalty = vec![f64::INFINITY; k];
+        #[allow(clippy::needless_range_loop)] // t indexes min_cost and the instance
+        for t in 0..n {
+            let mc = min_cost[t];
+            for (g, pen) in gsp_penalty.iter_mut().enumerate() {
+                let detour = inst.cost(t, g) - mc;
+                if detour < *pen {
+                    *pen = detour;
+                }
+            }
+        }
+
+        let mut child_order = Vec::with_capacity(n * k);
+        let mut scratch: Vec<u16> = (0..k as u16).collect();
+        for t in 0..n {
+            let row = inst.cost_row(t);
+            scratch.sort_by(|&a, &b| {
+                row[a as usize].partial_cmp(&row[b as usize]).expect("finite costs")
+            });
+            child_order.extend_from_slice(&scratch);
+        }
+
+        BoundTables { order, suffix_min_cost, suffix_min_time, min_cost, gsp_penalty, child_order }
+    }
+
+    /// Cost lower bound at search depth `depth` (tasks `order[..depth]`
+    /// committed): `committed + suffix_min_cost[depth] + penalty for
+    /// idle GSPs`, where `idle` flags GSPs with zero tasks so far.
+    #[inline]
+    pub fn cost_lower_bound(&self, depth: usize, committed: f64, counts: &[usize]) -> f64 {
+        let mut lb = committed + self.suffix_min_cost[depth];
+        for (g, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                lb += self.gsp_penalty[g];
+            }
+        }
+        lb
+    }
+
+    /// True when the remaining tasks cannot fit in the remaining
+    /// deadline slack, whatever the completion.
+    #[inline]
+    pub fn time_infeasible(&self, depth: usize, loads: &[f64], deadline: f64) -> bool {
+        let slack: f64 = loads.iter().map(|&l| (deadline - l).max(0.0)).sum();
+        self.suffix_min_time[depth] > slack + 1e-9
+    }
+
+    /// Child GSPs of a task in ascending-cost order.
+    #[inline]
+    pub fn children(&self, task: usize, gsps: usize) -> &[u16] {
+        &self.child_order[task * gsps..(task + 1) * gsps]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> AssignmentInstance {
+        // 3 tasks × 2 GSPs; task 1 is the slowest anywhere.
+        AssignmentInstance::new(
+            3,
+            2,
+            vec![1.0, 4.0, 2.0, 1.0, 3.0, 2.0],
+            vec![1.0, 2.0, 5.0, 6.0, 1.0, 2.0],
+            20.0,
+            100.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn order_puts_biggest_task_first() {
+        let t = BoundTables::new(&inst());
+        assert_eq!(t.order[0], 1, "task 1 has min_time 5, the largest");
+    }
+
+    #[test]
+    fn suffix_sums_telescoping() {
+        let i = inst();
+        let t = BoundTables::new(&i);
+        assert_eq!(t.suffix_min_cost[3], 0.0);
+        assert!((t.suffix_min_cost[0] - i.min_cost_sum()).abs() < 1e-12);
+        // each prefix step removes exactly one task's min cost
+        for d in 0..3 {
+            let diff = t.suffix_min_cost[d] - t.suffix_min_cost[d + 1];
+            assert!((diff - t.min_cost[t.order[d]]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn penalty_is_cheapest_detour() {
+        let i = inst();
+        let t = BoundTables::new(&i);
+        // GSP 0 detours: task0 1-1=0 → penalty 0
+        assert_eq!(t.gsp_penalty[0], 0.0);
+        // GSP 1 detours: task0 4-1=3, task1 1-1=0, task2 2-2=0 → 0
+        assert_eq!(t.gsp_penalty[1], 0.0);
+    }
+
+    #[test]
+    fn penalty_positive_when_gsp_never_cheapest() {
+        let i = AssignmentInstance::new(
+            2,
+            2,
+            vec![1.0, 3.0, 1.0, 5.0],
+            vec![1.0, 1.0, 1.0, 1.0],
+            10.0,
+            100.0,
+        )
+        .unwrap();
+        let t = BoundTables::new(&i);
+        assert_eq!(t.gsp_penalty[1], 2.0); // cheapest detour: task 0, 3−1
+        // the idle-GSP-aware bound beats the naive relaxation
+        let lb = t.cost_lower_bound(0, 0.0, &[0, 0]);
+        assert_eq!(lb, 2.0 + 2.0); // min costs (1+1) + penalty 2
+    }
+
+    #[test]
+    fn cost_lower_bound_drops_penalty_once_served() {
+        let i = inst();
+        let t = BoundTables::new(&i);
+        let lb_idle = t.cost_lower_bound(0, 0.0, &[0, 0]);
+        let lb_served = t.cost_lower_bound(0, 0.0, &[1, 1]);
+        assert!(lb_idle >= lb_served);
+    }
+
+    #[test]
+    fn time_infeasibility_detects_overflow() {
+        let i = inst();
+        let t = BoundTables::new(&i);
+        // total min time = 5 + 1 + 1 = 7; slack with empty loads = 40
+        assert!(!t.time_infeasible(0, &[0.0, 0.0], 20.0));
+        // loads nearly full: slack 2 < 7
+        assert!(t.time_infeasible(0, &[19.0, 19.0], 20.0));
+    }
+
+    #[test]
+    fn children_sorted_by_cost() {
+        let i = inst();
+        let t = BoundTables::new(&i);
+        assert_eq!(t.children(0, 2), &[0, 1]); // costs 1 < 4
+        assert_eq!(t.children(1, 2), &[1, 0]); // costs 1 < 2
+    }
+}

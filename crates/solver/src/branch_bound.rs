@@ -1,0 +1,544 @@
+//! Exact branch-and-bound for the task-assignment IP (the "IP-B&B" of
+//! Algorithm 1).
+//!
+//! Depth-first search over tasks in decreasing-size order; children
+//! (GSP choices) expanded cheapest-first. Admissible pruning via
+//! [`crate::bounds::BoundTables`]:
+//!
+//! * cost lower bound (incl. idle-GSP participation penalty) against
+//!   the incumbent and the payment cap;
+//! * aggregate deadline-slack infeasibility;
+//! * per-child deadline check;
+//! * participation counting (remaining tasks ≥ idle GSPs; when equal,
+//!   branch only to idle GSPs).
+//!
+//! Because children are cost-sorted, the per-child cost bound allows a
+//! `break` (all later children are costlier), which is what makes the
+//! search close instantly on instances where constraints do not bind.
+//!
+//! The search is exact; a configurable node budget turns it into an
+//! anytime algorithm, with [`SolveOutcome::optimal`] reporting whether
+//! the tree was exhausted.
+
+use crate::bounds::BoundTables;
+use crate::heuristics;
+use crate::instance::AssignmentInstance;
+use crate::solution::Assignment;
+
+/// Absolute cost tolerance used when comparing bounds to incumbents.
+pub(crate) const COST_EPS: f64 = 1e-9;
+
+/// Configuration of the exact branch-and-bound solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchBound {
+    /// Maximum number of search-tree nodes to expand before returning
+    /// the best incumbent found so far (anytime mode). The default is
+    /// large enough that every instance in the paper's parameter range
+    /// solves to proven optimality.
+    pub max_nodes: u64,
+    /// Seed the incumbent with the heuristic portfolio before the
+    /// search (strongly recommended; disable only to measure its
+    /// effect in ablations).
+    pub seed_incumbent: bool,
+}
+
+impl Default for BranchBound {
+    fn default() -> Self {
+        BranchBound { max_nodes: 50_000_000, seed_incumbent: true }
+    }
+}
+
+/// Result of a completed (or budget-truncated) solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOutcome {
+    /// The best feasible assignment found.
+    pub assignment: Assignment,
+    /// Its total cost (the IP objective, eq. (9)).
+    pub cost: f64,
+    /// True when the search tree was exhausted, proving optimality.
+    /// False when the node budget truncated the search.
+    pub optimal: bool,
+    /// Nodes expanded.
+    pub nodes: u64,
+}
+
+/// Detailed solve status, distinguishing proven infeasibility from a
+/// budget-truncated search that found nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveStatus {
+    /// Optimal solution found and proven.
+    Optimal(SolveOutcome),
+    /// Feasible solution found, but the node budget expired before the
+    /// proof of optimality completed.
+    Feasible(SolveOutcome),
+    /// Search exhausted: the IP has no feasible solution. TVOF reads
+    /// this as "this VO cannot execute the program".
+    Infeasible {
+        /// Nodes expanded during the proof.
+        nodes: u64,
+    },
+    /// Budget expired with no feasible solution found; feasibility is
+    /// unknown.
+    Unknown {
+        /// Nodes expanded before giving up.
+        nodes: u64,
+    },
+}
+
+impl BranchBound {
+    /// Solve, returning the best assignment if one was found.
+    /// `None` means no feasible solution was found — with the default
+    /// (effectively unlimited) budget this is a proof of infeasibility.
+    pub fn solve(&self, inst: &AssignmentInstance) -> Option<SolveOutcome> {
+        match self.solve_status(inst) {
+            SolveStatus::Optimal(o) | SolveStatus::Feasible(o) => Some(o),
+            SolveStatus::Infeasible { .. } | SolveStatus::Unknown { .. } => None,
+        }
+    }
+
+    /// Solve with full status reporting.
+    pub fn solve_status(&self, inst: &AssignmentInstance) -> SolveStatus {
+        // Root cut: the Hungarian participation bound (matching of
+        // distinct representative tasks onto GSPs) dominates the
+        // per-node bound. It can prove infeasibility against the
+        // payment cap, or prove a seeded incumbent optimal, before any
+        // tree search.
+        let root_bound = crate::hungarian::participation_bound(inst);
+        if root_bound > inst.payment() + COST_EPS {
+            return SolveStatus::Infeasible { nodes: 0 };
+        }
+        let tables = BoundTables::new(inst);
+        let mut search = Searcher::new(inst, &tables, self.max_nodes, None);
+        if self.seed_incumbent {
+            if let Some(seed) = heuristics::seed_incumbent(inst) {
+                let cost = seed.total_cost(inst);
+                if cost <= root_bound + COST_EPS {
+                    // the heuristic met the lower bound: proven optimal
+                    return SolveStatus::Optimal(SolveOutcome {
+                        assignment: seed,
+                        cost,
+                        optimal: true,
+                        nodes: 0,
+                    });
+                }
+                search.install_incumbent(seed.as_slice().to_vec(), cost);
+            }
+        }
+        search.dfs(0);
+        search.into_status()
+    }
+}
+
+/// Shared incumbent handle used by the parallel solver; the sequential
+/// path passes `None`. See [`crate::parallel`].
+pub(crate) trait IncumbentSink: Sync {
+    /// Current global best cost (may be better than the local one).
+    fn best_cost(&self) -> f64;
+    /// Offer an improving solution; returns true if accepted.
+    fn offer(&self, cost: f64, assignment: &[usize]) -> bool;
+}
+
+pub(crate) struct Searcher<'a> {
+    inst: &'a AssignmentInstance,
+    tables: &'a BoundTables,
+    // search state
+    chosen: Vec<usize>, // by depth: gsp chosen for tables.order[depth]
+    loads: Vec<f64>,
+    counts: Vec<usize>,
+    idle: usize,
+    committed: f64,
+    // incumbent
+    best_cost: f64,
+    /// True once `best_cost` reflects a real feasible solution (local
+    /// or global) rather than the initial payment cap.
+    have_incumbent: bool,
+    best: Option<Vec<usize>>, // task-indexed
+    // accounting
+    nodes: u64,
+    budget: u64,
+    truncated: bool,
+    shared: Option<&'a dyn IncumbentSink>,
+}
+
+impl<'a> Searcher<'a> {
+    pub(crate) fn new(
+        inst: &'a AssignmentInstance,
+        tables: &'a BoundTables,
+        budget: u64,
+        shared: Option<&'a dyn IncumbentSink>,
+    ) -> Self {
+        let k = inst.gsps();
+        Searcher {
+            inst,
+            tables,
+            chosen: vec![usize::MAX; inst.tasks()],
+            loads: vec![0.0; k],
+            counts: vec![0; k],
+            idle: k,
+            // the payment cap is the initial "incumbent": nothing more
+            // expensive can ever be feasible (constraint (10))
+            committed: 0.0,
+            best_cost: inst.payment() + COST_EPS,
+            have_incumbent: false,
+            best: None,
+            nodes: 0,
+            budget,
+            truncated: false,
+            shared,
+        }
+    }
+
+    /// Pre-load a known feasible solution as the incumbent.
+    pub(crate) fn install_incumbent(&mut self, task_to_gsp: Vec<usize>, cost: f64) {
+        if cost < self.best_cost {
+            self.best_cost = cost;
+            self.have_incumbent = true;
+            self.best = Some(task_to_gsp);
+        }
+    }
+
+    /// Seed the search state to start from a partial prefix assignment
+    /// (used by the parallel driver to hand out subtrees).
+    pub(crate) fn apply_prefix(&mut self, prefix: &[usize]) {
+        for (depth, &g) in prefix.iter().enumerate() {
+            let task = self.tables.order[depth];
+            self.chosen[depth] = g;
+            self.loads[g] += self.inst.time(task, g);
+            if self.counts[g] == 0 {
+                self.idle -= 1;
+            }
+            self.counts[g] += 1;
+            self.committed += self.inst.cost(task, g);
+        }
+    }
+
+    #[inline]
+    fn sync_shared(&mut self) {
+        if let Some(s) = self.shared {
+            let g = s.best_cost();
+            if g < self.best_cost {
+                self.best_cost = g;
+                self.have_incumbent = true;
+                // We do not copy the global assignment; local `best`
+                // only tracks solutions found in this subtree. The
+                // driver keeps the global one.
+            }
+        }
+    }
+
+    pub(crate) fn dfs(&mut self, depth: usize) {
+        if self.truncated {
+            return;
+        }
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            self.truncated = true;
+            return;
+        }
+        // Periodically pull the global incumbent in parallel mode.
+        if self.shared.is_some() && self.nodes.is_multiple_of(1024) {
+            self.sync_shared();
+        }
+        let n = self.inst.tasks();
+        if depth == n {
+            // Leaf: constraints were maintained incrementally.
+            let cost = self.committed;
+            if cost < self.best_cost - COST_EPS
+                || (!self.have_incumbent && cost <= self.best_cost)
+            {
+                let mut task_to_gsp = vec![0usize; n];
+                for (d, &g) in self.chosen.iter().enumerate() {
+                    task_to_gsp[self.tables.order[d]] = g;
+                }
+                if let Some(s) = self.shared {
+                    s.offer(cost, &task_to_gsp);
+                }
+                self.best_cost = cost;
+                self.have_incumbent = true;
+                self.best = Some(task_to_gsp);
+            }
+            return;
+        }
+
+        // Node-level prunes.
+        if self.have_incumbent
+            && self.tables.cost_lower_bound(depth, self.committed, &self.counts)
+                >= self.best_cost - COST_EPS
+        {
+            return;
+        }
+        if self.committed + self.tables.suffix_min_cost[depth]
+            > self.inst.payment() + COST_EPS
+        {
+            return;
+        }
+        if self.tables.time_infeasible(depth, &self.loads, self.inst.deadline()) {
+            return;
+        }
+        let remaining = n - depth;
+        if remaining < self.idle {
+            return; // participation (13) can no longer be satisfied
+        }
+        let must_cover = remaining == self.idle;
+
+        let task = self.tables.order[depth];
+        let k = self.inst.gsps();
+        let deadline = self.inst.deadline();
+        for gi in 0..k {
+            let g = self.tables.children(task, k)[gi] as usize;
+            if must_cover && self.counts[g] != 0 {
+                continue;
+            }
+            let dc = self.inst.cost(task, g);
+            // Children are cost-sorted: once the optimistic completion
+            // exceeds the incumbent, every later child does too.
+            let optimistic = self.committed + dc + self.tables.suffix_min_cost[depth + 1];
+            if self.have_incumbent && optimistic >= self.best_cost - COST_EPS {
+                break;
+            }
+            if optimistic > self.inst.payment() + COST_EPS {
+                break; // payment cap (10): later children cost even more
+            }
+            let dt = self.inst.time(task, g);
+            if self.loads[g] + dt > deadline + 1e-9 {
+                continue;
+            }
+            // Apply.
+            self.chosen[depth] = g;
+            self.loads[g] += dt;
+            if self.counts[g] == 0 {
+                self.idle -= 1;
+            }
+            self.counts[g] += 1;
+            self.committed += dc;
+
+            self.dfs(depth + 1);
+
+            // Undo.
+            self.committed -= dc;
+            self.counts[g] -= 1;
+            if self.counts[g] == 0 {
+                self.idle += 1;
+            }
+            self.loads[g] -= dt;
+            self.chosen[depth] = usize::MAX;
+            if self.truncated {
+                return;
+            }
+        }
+    }
+
+    pub(crate) fn nodes(&self) -> u64 {
+        self.nodes
+    }
+
+    pub(crate) fn take_best(self) -> (Option<(Vec<usize>, f64)>, u64, bool) {
+        let Searcher { best, best_cost, nodes, truncated, .. } = self;
+        (best.map(|b| (b, best_cost)), nodes, truncated)
+    }
+
+    fn into_status(self) -> SolveStatus {
+        let truncated = self.truncated;
+        let nodes = self.nodes;
+        match self.best {
+            Some(b) => {
+                let cost = self.best_cost;
+                let outcome = SolveOutcome {
+                    assignment: Assignment::new(b),
+                    cost,
+                    optimal: !truncated,
+                    nodes,
+                };
+                if truncated {
+                    SolveStatus::Feasible(outcome)
+                } else {
+                    SolveStatus::Optimal(outcome)
+                }
+            }
+            None => {
+                if truncated {
+                    SolveStatus::Unknown { nodes }
+                } else {
+                    SolveStatus::Infeasible { nodes }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(
+        tasks: usize,
+        gsps: usize,
+        cost: Vec<f64>,
+        time: Vec<f64>,
+        d: f64,
+        p: f64,
+    ) -> AssignmentInstance {
+        AssignmentInstance::new(tasks, gsps, cost, time, d, p).unwrap()
+    }
+
+    #[test]
+    fn unconstrained_optimum_is_min_cost_with_participation() {
+        // loose deadline and payment: optimum = min cost per task,
+        // subject to both GSPs being used.
+        let i = inst(
+            3,
+            2,
+            vec![1.0, 4.0, 2.0, 1.0, 3.0, 2.0],
+            vec![1.0; 6],
+            100.0,
+            100.0,
+        );
+        let o = BranchBound::default().solve(&i).unwrap();
+        assert!(o.optimal);
+        assert_eq!(o.cost, 4.0); // 0→G0 (1), 1→G1 (1), 2→G1 (2)
+        o.assignment.check_feasible(&i).unwrap();
+    }
+
+    #[test]
+    fn deadline_forces_costlier_split() {
+        // Cheapest GSP can only hold one task by time.
+        let i = inst(
+            2,
+            2,
+            vec![1.0, 10.0, 1.0, 10.0],
+            vec![5.0, 1.0, 5.0, 1.0],
+            6.0,
+            100.0,
+        );
+        let o = BranchBound::default().solve(&i).unwrap();
+        // one task on each GSP: cost 1 + 10 = 11
+        assert_eq!(o.cost, 11.0);
+        assert!(o.optimal);
+    }
+
+    #[test]
+    fn payment_cap_proves_infeasible() {
+        let i = inst(2, 2, vec![10.0; 4], vec![1.0; 4], 10.0, 5.0);
+        match BranchBound::default().solve_status(&i) {
+            SolveStatus::Infeasible { .. } => {}
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_proves_infeasible() {
+        let i = inst(3, 2, vec![1.0; 6], vec![10.0; 6], 5.0, 100.0);
+        assert!(BranchBound::default().solve(&i).is_none());
+    }
+
+    #[test]
+    fn solution_exactly_at_payment_is_accepted() {
+        let i = inst(2, 2, vec![3.0, 3.0, 3.0, 3.0], vec![1.0; 4], 10.0, 6.0);
+        let o = BranchBound::default().solve(&i).expect("cost 6 == payment 6 is feasible");
+        assert_eq!(o.cost, 6.0);
+    }
+
+    #[test]
+    fn budget_truncation_reports_nonoptimal_or_unknown() {
+        // An instance whose tree needs more than 1 node.
+        let i = inst(
+            4,
+            2,
+            vec![1.0, 2.0, 2.0, 1.0, 1.5, 1.5, 2.0, 1.0],
+            vec![1.0; 8],
+            100.0,
+            100.0,
+        );
+        let bb = BranchBound { max_nodes: 1, seed_incumbent: false };
+        match bb.solve_status(&i) {
+            SolveStatus::Feasible(o) => assert!(!o.optimal),
+            SolveStatus::Unknown { .. } => {}
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seeding_never_changes_the_optimum() {
+        let i = inst(
+            5,
+            3,
+            vec![
+                3.0, 1.0, 2.0, //
+                1.0, 2.0, 3.0, //
+                2.0, 3.0, 1.0, //
+                1.0, 1.0, 4.0, //
+                2.0, 2.0, 2.0,
+            ],
+            vec![1.0; 15],
+            3.0,
+            100.0,
+        );
+        let with = BranchBound { seed_incumbent: true, ..Default::default() }.solve(&i).unwrap();
+        let without =
+            BranchBound { seed_incumbent: false, ..Default::default() }.solve(&i).unwrap();
+        assert_eq!(with.cost, without.cost);
+        assert!(with.optimal && without.optimal);
+    }
+
+    #[test]
+    fn participation_forces_every_gsp_used() {
+        // GSP 2 is wildly expensive but must still get a task.
+        let i = inst(
+            3,
+            3,
+            vec![1.0, 1.0, 50.0, 1.0, 1.0, 50.0, 1.0, 1.0, 50.0],
+            vec![1.0; 9],
+            10.0,
+            100.0,
+        );
+        let o = BranchBound::default().solve(&i).unwrap();
+        assert_eq!(o.cost, 52.0);
+        assert_eq!(o.assignment.task_counts(&i), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn single_gsp_takes_everything() {
+        let i = inst(3, 1, vec![2.0, 3.0, 4.0], vec![1.0, 1.0, 1.0], 3.0, 100.0);
+        let o = BranchBound::default().solve(&i).unwrap();
+        assert_eq!(o.cost, 9.0);
+        assert_eq!(o.assignment.as_slice(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn equal_tasks_and_gsps_is_a_matching() {
+        // 3 tasks, 3 GSPs: each gets exactly one; optimum is the
+        // min-cost perfect matching (here the diagonal = 3).
+        let i = inst(
+            3,
+            3,
+            vec![1.0, 9.0, 9.0, 9.0, 1.0, 9.0, 9.0, 9.0, 1.0],
+            vec![1.0; 9],
+            10.0,
+            100.0,
+        );
+        let o = BranchBound::default().solve(&i).unwrap();
+        assert_eq!(o.cost, 3.0);
+        let counts = o.assignment.task_counts(&i);
+        assert!(counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn moderate_instance_closes_fast() {
+        // 60 tasks × 6 GSPs with structured costs: must finish well
+        // within the default budget.
+        let n = 60;
+        let k = 6;
+        let mut cost = Vec::new();
+        let mut time = Vec::new();
+        for t in 0..n {
+            for g in 0..k {
+                cost.push(1.0 + ((t * 31 + g * 17) % 23) as f64);
+                time.push(1.0 + ((t * 13 + g * 7) % 5) as f64);
+            }
+        }
+        let i = inst(n, k, cost, time, 100.0, 1e6);
+        let o = BranchBound::default().solve(&i).unwrap();
+        assert!(o.optimal);
+        o.assignment.check_feasible(&i).unwrap();
+    }
+}

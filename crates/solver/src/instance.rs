@@ -1,0 +1,281 @@
+//! The task-assignment problem instance (eqs. (9)–(14) data).
+
+use crate::{Result, SolverError};
+use serde::{Deserialize, Serialize};
+
+/// One instance of the paper's task-assignment IP: `n` independent
+/// tasks, `k` GSPs (the candidate VO's members), cost and execution
+/// time matrices, a deadline and a payment.
+///
+/// Matrices are stored **task-major**: entry `(task, gsp)` lives at
+/// `task * gsps + gsp`, matching the paper's `c(T, G)` / `t(T, G)`
+/// notation. Row `t` is therefore the per-GSP cost/time profile of one
+/// task — the unit the branch-and-bound branches over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "RawInstance")]
+pub struct AssignmentInstance {
+    tasks: usize,
+    gsps: usize,
+    cost: Vec<f64>,
+    time: Vec<f64>,
+    deadline: f64,
+    payment: f64,
+}
+
+/// Serde shadow: deserialization re-runs full instance validation.
+#[derive(Deserialize)]
+struct RawInstance {
+    tasks: usize,
+    gsps: usize,
+    cost: Vec<f64>,
+    time: Vec<f64>,
+    deadline: f64,
+    payment: f64,
+}
+
+impl TryFrom<RawInstance> for AssignmentInstance {
+    type Error = String;
+    fn try_from(raw: RawInstance) -> std::result::Result<Self, String> {
+        AssignmentInstance::new(raw.tasks, raw.gsps, raw.cost, raw.time, raw.deadline, raw.payment)
+            .map_err(|e| e.to_string())
+    }
+}
+
+impl AssignmentInstance {
+    /// Build and validate an instance.
+    ///
+    /// * `cost`/`time` — task-major `tasks × gsps` matrices, all entries
+    ///   finite and non-negative (`time` entries strictly positive);
+    /// * `deadline`/`payment` — finite and strictly positive.
+    ///
+    /// Rejects shapes where `tasks < gsps`, because constraint (13)
+    /// (every GSP gets at least one task) is then trivially infeasible:
+    /// TVOF relies on this signal to stop shrinking VOs.
+    pub fn new(
+        tasks: usize,
+        gsps: usize,
+        cost: Vec<f64>,
+        time: Vec<f64>,
+        deadline: f64,
+        payment: f64,
+    ) -> Result<Self> {
+        if tasks == 0 || gsps == 0 {
+            return Err(SolverError::Empty);
+        }
+        if cost.len() != tasks * gsps {
+            return Err(SolverError::BadDimensions { context: "cost matrix" });
+        }
+        if time.len() != tasks * gsps {
+            return Err(SolverError::BadDimensions { context: "time matrix" });
+        }
+        for t in 0..tasks {
+            for g in 0..gsps {
+                let c = cost[t * gsps + g];
+                if !c.is_finite() || c < 0.0 {
+                    return Err(SolverError::BadEntry { task: t, gsp: g, value: c });
+                }
+                let tm = time[t * gsps + g];
+                if !tm.is_finite() || tm <= 0.0 {
+                    return Err(SolverError::BadEntry { task: t, gsp: g, value: tm });
+                }
+            }
+        }
+        if !deadline.is_finite() || deadline <= 0.0 {
+            return Err(SolverError::BadScalar { name: "deadline", value: deadline });
+        }
+        if !payment.is_finite() || payment <= 0.0 {
+            return Err(SolverError::BadScalar { name: "payment", value: payment });
+        }
+        if tasks < gsps {
+            return Err(SolverError::TooFewTasks { tasks, gsps });
+        }
+        Ok(AssignmentInstance { tasks, gsps, cost, time, deadline, payment })
+    }
+
+    /// Number of tasks `n`.
+    #[inline]
+    pub fn tasks(&self) -> usize {
+        self.tasks
+    }
+
+    /// Number of GSPs `k = |C|`.
+    #[inline]
+    pub fn gsps(&self) -> usize {
+        self.gsps
+    }
+
+    /// Execution cost `c(T, G)`.
+    #[inline]
+    pub fn cost(&self, task: usize, gsp: usize) -> f64 {
+        self.cost[task * self.gsps + gsp]
+    }
+
+    /// Execution time `t(T, G)` in seconds.
+    #[inline]
+    pub fn time(&self, task: usize, gsp: usize) -> f64 {
+        self.time[task * self.gsps + gsp]
+    }
+
+    /// Per-GSP cost profile of one task (slice of length `gsps`).
+    #[inline]
+    pub fn cost_row(&self, task: usize) -> &[f64] {
+        &self.cost[task * self.gsps..(task + 1) * self.gsps]
+    }
+
+    /// Per-GSP time profile of one task (slice of length `gsps`).
+    #[inline]
+    pub fn time_row(&self, task: usize) -> &[f64] {
+        &self.time[task * self.gsps..(task + 1) * self.gsps]
+    }
+
+    /// The deadline `d` (constraint (11) right-hand side).
+    #[inline]
+    pub fn deadline(&self) -> f64 {
+        self.deadline
+    }
+
+    /// The user's payment `P` (constraint (10) right-hand side).
+    #[inline]
+    pub fn payment(&self) -> f64 {
+        self.payment
+    }
+
+    /// Cheapest possible cost of `task` over all GSPs.
+    pub fn min_cost(&self, task: usize) -> f64 {
+        self.cost_row(task).iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Fastest possible execution time of `task` over all GSPs.
+    pub fn min_time(&self, task: usize) -> f64 {
+        self.time_row(task).iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Sum over tasks of the per-task minimum cost — the root lower
+    /// bound of the branch-and-bound and a quick infeasibility test
+    /// against the payment cap.
+    pub fn min_cost_sum(&self) -> f64 {
+        (0..self.tasks).map(|t| self.min_cost(t)).sum()
+    }
+
+    /// Restrict the instance to a subset of GSPs (by index), producing
+    /// the IP a *smaller VO* faces. Column `j` of the result is GSP
+    /// `keep[j]` of `self`. Errors if the subset is empty or larger
+    /// than the task count.
+    pub fn restrict_gsps(&self, keep: &[usize]) -> Result<AssignmentInstance> {
+        let k = keep.len();
+        if k == 0 {
+            return Err(SolverError::Empty);
+        }
+        let mut cost = Vec::with_capacity(self.tasks * k);
+        let mut time = Vec::with_capacity(self.tasks * k);
+        for t in 0..self.tasks {
+            for &g in keep {
+                cost.push(self.cost(t, g));
+                time.push(self.time(t, g));
+            }
+        }
+        AssignmentInstance::new(self.tasks, k, cost, time, self.deadline, self.payment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> AssignmentInstance {
+        AssignmentInstance::new(
+            3,
+            2,
+            vec![1.0, 4.0, 2.0, 1.0, 3.0, 2.0],
+            vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0],
+            4.0,
+            100.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors_match_layout() {
+        let inst = small();
+        assert_eq!(inst.tasks(), 3);
+        assert_eq!(inst.gsps(), 2);
+        assert_eq!(inst.cost(0, 1), 4.0);
+        assert_eq!(inst.cost(2, 0), 3.0);
+        assert_eq!(inst.time(1, 1), 2.0);
+        assert_eq!(inst.cost_row(1), &[2.0, 1.0]);
+        assert_eq!(inst.time_row(0), &[1.0, 2.0]);
+        assert_eq!(inst.deadline(), 4.0);
+        assert_eq!(inst.payment(), 100.0);
+    }
+
+    #[test]
+    fn min_helpers() {
+        let inst = small();
+        assert_eq!(inst.min_cost(0), 1.0);
+        assert_eq!(inst.min_cost(1), 1.0);
+        assert_eq!(inst.min_cost(2), 2.0);
+        assert_eq!(inst.min_cost_sum(), 4.0);
+        assert_eq!(inst.min_time(0), 1.0);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            AssignmentInstance::new(0, 2, vec![], vec![], 1.0, 1.0),
+            Err(SolverError::Empty)
+        );
+        assert_eq!(
+            AssignmentInstance::new(2, 0, vec![], vec![], 1.0, 1.0),
+            Err(SolverError::Empty)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        let e = AssignmentInstance::new(2, 2, vec![1.0; 3], vec![1.0; 4], 1.0, 1.0);
+        assert!(matches!(e, Err(SolverError::BadDimensions { .. })));
+        let e = AssignmentInstance::new(2, 2, vec![1.0; 4], vec![1.0; 5], 1.0, 1.0);
+        assert!(matches!(e, Err(SolverError::BadDimensions { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_entries() {
+        let e = AssignmentInstance::new(1, 1, vec![-1.0], vec![1.0], 1.0, 1.0);
+        assert!(matches!(e, Err(SolverError::BadEntry { .. })));
+        // zero time is rejected (a task cannot be free to execute)
+        let e = AssignmentInstance::new(1, 1, vec![1.0], vec![0.0], 1.0, 1.0);
+        assert!(matches!(e, Err(SolverError::BadEntry { .. })));
+        let e = AssignmentInstance::new(1, 1, vec![f64::NAN], vec![1.0], 1.0, 1.0);
+        assert!(matches!(e, Err(SolverError::BadEntry { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_scalars() {
+        let e = AssignmentInstance::new(1, 1, vec![1.0], vec![1.0], 0.0, 1.0);
+        assert!(matches!(e, Err(SolverError::BadScalar { name: "deadline", .. })));
+        let e = AssignmentInstance::new(1, 1, vec![1.0], vec![1.0], 1.0, f64::INFINITY);
+        assert!(matches!(e, Err(SolverError::BadScalar { name: "payment", .. })));
+    }
+
+    #[test]
+    fn rejects_fewer_tasks_than_gsps() {
+        let e = AssignmentInstance::new(1, 2, vec![1.0; 2], vec![1.0; 2], 1.0, 1.0);
+        assert_eq!(e, Err(SolverError::TooFewTasks { tasks: 1, gsps: 2 }));
+    }
+
+    #[test]
+    fn restrict_gsps_keeps_columns() {
+        let inst = small();
+        let sub = inst.restrict_gsps(&[1]).unwrap();
+        assert_eq!(sub.gsps(), 1);
+        assert_eq!(sub.cost(0, 0), 4.0);
+        assert_eq!(sub.cost(2, 0), 2.0);
+        assert_eq!(sub.time(1, 0), 2.0);
+    }
+
+    #[test]
+    fn restrict_gsps_empty_subset_is_error() {
+        let inst = small();
+        assert_eq!(inst.restrict_gsps(&[]), Err(SolverError::Empty));
+    }
+}

@@ -1,0 +1,279 @@
+//! Assignments (solutions of the IP) and their feasibility audit.
+
+use crate::instance::AssignmentInstance;
+use serde::{Deserialize, Serialize};
+
+/// A complete mapping `π : T → C` of tasks onto GSPs — the decision
+/// variables `σ(T, G)` of eq. (8) in compact form: `gsp_of[t]` is the
+/// single GSP with `σ(t, ·) = 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    gsp_of: Vec<usize>,
+}
+
+/// Which IP constraint a candidate assignment violates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeasibilityError {
+    /// Assignment length differs from the instance's task count
+    /// (violates coverage, eq. (12)).
+    WrongLength {
+        /// Tasks in the assignment.
+        got: usize,
+        /// Tasks in the instance.
+        expected: usize,
+    },
+    /// A task is mapped to a GSP index outside the instance.
+    GspOutOfRange {
+        /// The offending task.
+        task: usize,
+        /// The mapped GSP.
+        gsp: usize,
+    },
+    /// Total cost exceeds the payment `P` (eq. (10)).
+    PaymentExceeded {
+        /// Total assignment cost.
+        cost: f64,
+        /// Payment cap.
+        payment: f64,
+    },
+    /// Some GSP's total execution time exceeds the deadline (eq. (11)).
+    DeadlineExceeded {
+        /// The overloaded GSP.
+        gsp: usize,
+        /// Its total load in seconds.
+        load: f64,
+        /// The deadline.
+        deadline: f64,
+    },
+    /// Some GSP received no task (eq. (13)).
+    IdleGsp {
+        /// The idle GSP.
+        gsp: usize,
+    },
+}
+
+impl std::fmt::Display for FeasibilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeasibilityError::WrongLength { got, expected } => {
+                write!(f, "assignment covers {got} tasks, instance has {expected}")
+            }
+            FeasibilityError::GspOutOfRange { task, gsp } => {
+                write!(f, "task {task} mapped to nonexistent GSP {gsp}")
+            }
+            FeasibilityError::PaymentExceeded { cost, payment } => {
+                write!(f, "total cost {cost} exceeds payment {payment}")
+            }
+            FeasibilityError::DeadlineExceeded { gsp, load, deadline } => {
+                write!(f, "GSP {gsp} load {load}s exceeds deadline {deadline}s")
+            }
+            FeasibilityError::IdleGsp { gsp } => write!(f, "GSP {gsp} received no task"),
+        }
+    }
+}
+
+impl std::error::Error for FeasibilityError {}
+
+impl Assignment {
+    /// Wrap a task→GSP vector.
+    pub fn new(gsp_of: Vec<usize>) -> Self {
+        Assignment { gsp_of }
+    }
+
+    /// Number of tasks covered.
+    pub fn len(&self) -> usize {
+        self.gsp_of.len()
+    }
+
+    /// True when no task is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.gsp_of.is_empty()
+    }
+
+    /// The GSP executing `task`.
+    #[inline]
+    pub fn gsp_of(&self, task: usize) -> usize {
+        self.gsp_of[task]
+    }
+
+    /// Borrow the underlying mapping.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.gsp_of
+    }
+
+    /// Tasks assigned to `gsp`.
+    pub fn tasks_of(&self, gsp: usize) -> Vec<usize> {
+        self.gsp_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &g)| g == gsp)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Objective value (eq. (9)): total execution cost.
+    pub fn total_cost(&self, inst: &AssignmentInstance) -> f64 {
+        self.gsp_of.iter().enumerate().map(|(t, &g)| inst.cost(t, g)).sum()
+    }
+
+    /// Per-GSP total execution time (left side of eq. (11)).
+    pub fn loads(&self, inst: &AssignmentInstance) -> Vec<f64> {
+        let mut loads = vec![0.0; inst.gsps()];
+        for (t, &g) in self.gsp_of.iter().enumerate() {
+            loads[g] += inst.time(t, g);
+        }
+        loads
+    }
+
+    /// The makespan: the largest per-GSP load. The VO finishes the
+    /// program at this time (all GSPs run in parallel).
+    pub fn makespan(&self, inst: &AssignmentInstance) -> f64 {
+        self.loads(inst).into_iter().fold(0.0, f64::max)
+    }
+
+    /// Number of tasks on each GSP.
+    pub fn task_counts(&self, inst: &AssignmentInstance) -> Vec<usize> {
+        let mut counts = vec![0usize; inst.gsps()];
+        for &g in &self.gsp_of {
+            counts[g] += 1;
+        }
+        counts
+    }
+
+    /// Full feasibility audit against every IP constraint. Returns the
+    /// first violated constraint, checked in the paper's numbering
+    /// order (10), (11), (13); coverage (12) is structural.
+    pub fn check_feasible(&self, inst: &AssignmentInstance) -> Result<(), FeasibilityError> {
+        if self.gsp_of.len() != inst.tasks() {
+            return Err(FeasibilityError::WrongLength {
+                got: self.gsp_of.len(),
+                expected: inst.tasks(),
+            });
+        }
+        for (t, &g) in self.gsp_of.iter().enumerate() {
+            if g >= inst.gsps() {
+                return Err(FeasibilityError::GspOutOfRange { task: t, gsp: g });
+            }
+        }
+        let cost = self.total_cost(inst);
+        if cost > inst.payment() + 1e-9 {
+            return Err(FeasibilityError::PaymentExceeded { cost, payment: inst.payment() });
+        }
+        for (g, &load) in self.loads(inst).iter().enumerate() {
+            if load > inst.deadline() + 1e-9 {
+                return Err(FeasibilityError::DeadlineExceeded {
+                    gsp: g,
+                    load,
+                    deadline: inst.deadline(),
+                });
+            }
+        }
+        for (g, &count) in self.task_counts(inst).iter().enumerate() {
+            if count == 0 {
+                return Err(FeasibilityError::IdleGsp { gsp: g });
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: true iff `check_feasible` passes.
+    pub fn is_feasible(&self, inst: &AssignmentInstance) -> bool {
+        self.check_feasible(inst).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::AssignmentInstance;
+
+    fn inst() -> AssignmentInstance {
+        AssignmentInstance::new(
+            3,
+            2,
+            vec![1.0, 4.0, 2.0, 1.0, 3.0, 2.0],
+            vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0],
+            4.0,
+            100.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cost_and_loads() {
+        let a = Assignment::new(vec![0, 1, 0]);
+        let i = inst();
+        assert_eq!(a.total_cost(&i), 1.0 + 1.0 + 3.0);
+        assert_eq!(a.loads(&i), vec![2.0, 2.0]);
+        assert_eq!(a.makespan(&i), 2.0);
+        assert_eq!(a.task_counts(&i), vec![2, 1]);
+        assert_eq!(a.tasks_of(0), vec![0, 2]);
+    }
+
+    #[test]
+    fn feasible_assignment_passes() {
+        let a = Assignment::new(vec![0, 1, 0]);
+        assert!(a.is_feasible(&inst()));
+    }
+
+    #[test]
+    fn idle_gsp_detected() {
+        let a = Assignment::new(vec![0, 0, 0]);
+        assert_eq!(a.check_feasible(&inst()), Err(FeasibilityError::IdleGsp { gsp: 1 }));
+    }
+
+    #[test]
+    fn deadline_violation_detected() {
+        // all three tasks on GSP 1: load = 6 > 4
+        let a = Assignment::new(vec![1, 1, 1]);
+        match a.check_feasible(&inst()) {
+            Err(FeasibilityError::DeadlineExceeded { gsp: 1, load, .. }) => {
+                assert!((load - 6.0).abs() < 1e-12);
+            }
+            other => panic!("expected deadline violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payment_violation_detected() {
+        let i = AssignmentInstance::new(
+            2,
+            2,
+            vec![10.0, 10.0, 10.0, 10.0],
+            vec![1.0, 1.0, 1.0, 1.0],
+            10.0,
+            5.0,
+        )
+        .unwrap();
+        let a = Assignment::new(vec![0, 1]);
+        assert!(matches!(
+            a.check_feasible(&i),
+            Err(FeasibilityError::PaymentExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_length_detected() {
+        let a = Assignment::new(vec![0, 1]);
+        assert!(matches!(
+            a.check_feasible(&inst()),
+            Err(FeasibilityError::WrongLength { got: 2, expected: 3 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_gsp_detected() {
+        let a = Assignment::new(vec![0, 1, 7]);
+        assert!(matches!(
+            a.check_feasible(&inst()),
+            Err(FeasibilityError::GspOutOfRange { task: 2, gsp: 7 })
+        ));
+    }
+
+    #[test]
+    fn empty_assignment_accessors() {
+        let a = Assignment::new(vec![]);
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Random trust-graph generators.
+//!
+//! The paper's experiments connect the 16 GSPs with an Erdős–Rényi
+//! `G(m, p)` digraph with `p = 0.1` and uniform-random edge weights
+//! (§IV-A). [`erdos_renyi`] reproduces this. [`watts_strogatz`] and
+//! [`barabasi_albert`] provide alternative topologies for the
+//! robustness ablations in `gridvo-bench` (small-world and scale-free
+//! trust networks respectively).
+
+use crate::TrustGraph;
+use rand::Rng;
+
+/// Erdős–Rényi `G(m, p)` directed trust graph.
+///
+/// Each ordered pair `(i, j)`, `i ≠ j`, receives an edge independently
+/// with probability `p`; edge weights are drawn uniformly from
+/// `weight_range`. This is exactly the model of the paper's §IV-A
+/// (m = 16, p = 0.1 there).
+pub fn erdos_renyi<R: Rng + ?Sized>(
+    rng: &mut R,
+    m: usize,
+    p: f64,
+    weight_range: std::ops::Range<f64>,
+) -> TrustGraph {
+    let mut g = TrustGraph::new(m);
+    for i in 0..m {
+        for j in 0..m {
+            if i != j && rng.gen::<f64>() < p {
+                g.set_trust(i, j, sample_weight(rng, &weight_range));
+            }
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi graph that is guaranteed to leave no GSP isolated:
+/// after the `G(m, p)` draw, every node with zero out-trust gets one
+/// random outgoing edge and every node with zero in-trust gets one
+/// random incoming edge. Useful when the experiment requires every
+/// GSP's reputation to be grounded in at least one observation.
+pub fn erdos_renyi_connected<R: Rng + ?Sized>(
+    rng: &mut R,
+    m: usize,
+    p: f64,
+    weight_range: std::ops::Range<f64>,
+) -> TrustGraph {
+    let mut g = erdos_renyi(rng, m, p, weight_range.clone());
+    if m < 2 {
+        return g;
+    }
+    for i in 0..m {
+        if g.out_trust_sum(i) == 0.0 {
+            let j = random_other(rng, m, i);
+            g.set_trust(i, j, sample_weight(rng, &weight_range));
+        }
+        if g.in_trust_sum(i) == 0.0 {
+            let j = random_other(rng, m, i);
+            g.set_trust(j, i, sample_weight(rng, &weight_range));
+        }
+    }
+    g
+}
+
+/// Watts–Strogatz small-world digraph: start from a directed ring
+/// lattice where each node trusts its `k` clockwise successors, then
+/// rewire each edge's destination with probability `beta`.
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    rng: &mut R,
+    m: usize,
+    k: usize,
+    beta: f64,
+    weight_range: std::ops::Range<f64>,
+) -> TrustGraph {
+    let mut g = TrustGraph::new(m);
+    if m < 2 {
+        return g;
+    }
+    let k = k.min(m - 1);
+    for i in 0..m {
+        for step in 1..=k {
+            let mut j = (i + step) % m;
+            if rng.gen::<f64>() < beta {
+                j = random_other(rng, m, i);
+            }
+            g.set_trust(i, j, sample_weight(rng, &weight_range));
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential-attachment digraph: nodes arrive one at
+/// a time and direct `k` trust edges toward existing nodes chosen with
+/// probability proportional to (1 + weighted in-degree). Early nodes
+/// accumulate reputation — a scale-free trust topology.
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    rng: &mut R,
+    m: usize,
+    k: usize,
+    weight_range: std::ops::Range<f64>,
+) -> TrustGraph {
+    let mut g = TrustGraph::new(m);
+    if m < 2 {
+        return g;
+    }
+    let k = k.max(1);
+    // Seed: node 1 trusts node 0.
+    g.set_trust(1, 0, sample_weight(rng, &weight_range));
+    for i in 2..m {
+        let targets = k.min(i);
+        let mut chosen = Vec::with_capacity(targets);
+        for _ in 0..targets {
+            // Weighted pick over existing nodes by 1 + in-degree mass.
+            let total: f64 = (0..i)
+                .filter(|t| !chosen.contains(t))
+                .map(|t| 1.0 + g.in_trust_sum(t))
+                .sum();
+            let mut pick = rng.gen::<f64>() * total;
+            let mut sel = None;
+            for t in (0..i).filter(|t| !chosen.contains(t)) {
+                pick -= 1.0 + g.in_trust_sum(t);
+                if pick <= 0.0 {
+                    sel = Some(t);
+                    break;
+                }
+            }
+            let t = sel.unwrap_or(i - 1);
+            chosen.push(t);
+            g.set_trust(i, t, sample_weight(rng, &weight_range));
+        }
+    }
+    g
+}
+
+/// Fully connected trust graph with uniform-random weights — the
+/// "everyone has interacted with everyone" limit.
+pub fn complete<R: Rng + ?Sized>(
+    rng: &mut R,
+    m: usize,
+    weight_range: std::ops::Range<f64>,
+) -> TrustGraph {
+    let mut g = TrustGraph::new(m);
+    for i in 0..m {
+        for j in 0..m {
+            if i != j {
+                g.set_trust(i, j, sample_weight(rng, &weight_range));
+            }
+        }
+    }
+    g
+}
+
+fn sample_weight<R: Rng + ?Sized>(rng: &mut R, range: &std::ops::Range<f64>) -> f64 {
+    if range.start == range.end {
+        return range.start;
+    }
+    rng.gen_range(range.start..range.end)
+}
+
+fn random_other<R: Rng + ?Sized>(rng: &mut R, m: usize, not: usize) -> usize {
+    loop {
+        let j = rng.gen_range(0..m);
+        if j != not {
+            return j;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    type TestRng = rand::rngs::StdRng;
+
+    #[test]
+    fn er_density_close_to_p() {
+        let mut rng = TestRng::seed_from_u64(42);
+        let m = 200;
+        let p = 0.1;
+        let g = erdos_renyi(&mut rng, m, p, 0.0..1.0);
+        let density = g.density();
+        assert!((density - p).abs() < 0.02, "density {density} too far from p={p}");
+    }
+
+    #[test]
+    fn er_p_zero_is_empty_p_one_is_complete() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let empty = erdos_renyi(&mut rng, 10, 0.0, 0.5..1.0);
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi(&mut rng, 10, 1.0, 0.5..1.0);
+        assert_eq!(full.edge_count(), 90);
+    }
+
+    #[test]
+    fn er_no_self_loops_and_weights_in_range() {
+        let mut rng = TestRng::seed_from_u64(7);
+        let g = erdos_renyi(&mut rng, 30, 0.5, 2.0..3.0);
+        for (i, j, w) in g.edges() {
+            assert_ne!(i, j);
+            assert!((2.0..3.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn er_connected_has_no_isolated_nodes() {
+        let mut rng = TestRng::seed_from_u64(3);
+        // p = 0 forces the repair pass to do all the work.
+        let g = erdos_renyi_connected(&mut rng, 16, 0.0, 0.5..1.0);
+        for i in 0..16 {
+            assert!(g.out_trust_sum(i) > 0.0, "node {i} has no out-trust");
+            assert!(g.in_trust_sum(i) > 0.0, "node {i} has no in-trust");
+        }
+    }
+
+    #[test]
+    fn ws_beta_zero_is_ring_lattice() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let g = watts_strogatz(&mut rng, 8, 2, 0.0, 1.0..1.0000001);
+        for i in 0..8 {
+            assert!(g.trust(i, (i + 1) % 8) > 0.0);
+            assert!(g.trust(i, (i + 2) % 8) > 0.0);
+        }
+        assert_eq!(g.edge_count(), 16);
+    }
+
+    #[test]
+    fn ws_every_node_keeps_out_degree() {
+        let mut rng = TestRng::seed_from_u64(6);
+        let g = watts_strogatz(&mut rng, 20, 3, 0.5, 0.0..1.0);
+        for i in 0..20 {
+            // Rewiring may merge parallel edges onto the same target,
+            // but out-trust never disappears entirely.
+            assert!(g.neighbors(i).count() >= 1);
+        }
+    }
+
+    #[test]
+    fn ba_hubs_attract_trust() {
+        let mut rng = TestRng::seed_from_u64(11);
+        let g = barabasi_albert(&mut rng, 100, 2, 0.5..1.0);
+        // Node 0 (earliest) should end up with in-degree far above the
+        // median node's.
+        let deg0 = g.in_trust_sum(0);
+        let deg_late = g.in_trust_sum(90);
+        assert!(deg0 > deg_late, "preferential attachment failed: {deg0} vs {deg_late}");
+    }
+
+    #[test]
+    fn ba_every_new_node_has_out_edges() {
+        let mut rng = TestRng::seed_from_u64(12);
+        let g = barabasi_albert(&mut rng, 30, 3, 0.5..1.0);
+        for i in 1..30 {
+            assert!(g.out_trust_sum(i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let mut rng = TestRng::seed_from_u64(13);
+        let g = complete(&mut rng, 7, 0.5..1.0);
+        assert_eq!(g.edge_count(), 42);
+        assert!(g.is_strongly_connected());
+    }
+
+    #[test]
+    fn generators_deterministic_under_seed() {
+        let g1 = erdos_renyi(&mut TestRng::seed_from_u64(99), 16, 0.1, 0.0..1.0);
+        let g2 = erdos_renyi(&mut TestRng::seed_from_u64(99), 16, 0.1, 0.0..1.0);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let mut rng = TestRng::seed_from_u64(0);
+        assert_eq!(erdos_renyi(&mut rng, 0, 0.5, 0.0..1.0).node_count(), 0);
+        assert_eq!(watts_strogatz(&mut rng, 1, 2, 0.5, 0.0..1.0).edge_count(), 0);
+        assert_eq!(barabasi_albert(&mut rng, 1, 2, 0.0..1.0).edge_count(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Quickstart: form a trust-aware VO for a small bag-of-tasks program.
+//!
+//! Builds a 6-GSP federation by hand — speeds, per-task costs, a trust
+//! graph with one notoriously unreliable provider — runs TVOF, and
+//! prints the iteration trace and the selected VO.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gridvo_core::mechanism::{FormationConfig, Mechanism};
+use gridvo_core::{FormationScenario, Gsp};
+use gridvo_solver::AssignmentInstance;
+use gridvo_trust::TrustGraph;
+use rand::SeedableRng;
+
+fn main() {
+    // --- The federation: 6 GSPs with heterogeneous speeds (GFLOPS).
+    let speeds = [550.0, 420.0, 380.0, 300.0, 250.0, 120.0];
+    let gsps: Vec<Gsp> = speeds.iter().enumerate().map(|(i, &s)| Gsp::new(i, s)).collect();
+
+    // --- The program: 18 independent tasks, workloads in GFLOP.
+    let workloads: Vec<f64> =
+        (0..18).map(|t| 40_000.0 + 7_000.0 * ((t * 13) % 10) as f64).collect();
+
+    // --- Cost and time matrices (task-major). Costs reflect each
+    //     GSP's pricing policy; times are workload / speed.
+    let m = gsps.len();
+    let n = workloads.len();
+    let mut cost = Vec::with_capacity(n * m);
+    let mut time = Vec::with_capacity(n * m);
+    for (t, &w) in workloads.iter().enumerate() {
+        for (g, &s) in speeds.iter().enumerate() {
+            // pricing: faster GSPs charge more per task; provider 5 is
+            // cheap but also the one nobody trusts.
+            let price = 10.0 + 0.02 * w / 1000.0 + 3.0 * (m - g) as f64 + ((t + g) % 4) as f64;
+            cost.push(price);
+            time.push(w / s);
+        }
+    }
+    let deadline = 900.0; // seconds
+    let payment = 800.0; // currency units
+    let instance = AssignmentInstance::new(n, m, cost, time, deadline, payment)
+        .expect("valid instance");
+
+    // --- Trust: everyone has good history with everyone, except GSP 5
+    //     which failed to deliver in the past (low incoming trust).
+    let mut trust = TrustGraph::new(m);
+    for i in 0..m {
+        for j in 0..m {
+            if i == j {
+                continue;
+            }
+            let w = if j == 5 { 0.05 } else { 0.6 + 0.1 * ((i + j) % 4) as f64 };
+            trust.set_trust(i, j, w);
+        }
+    }
+
+    let scenario = FormationScenario::new(gsps, trust, instance).expect("consistent scenario");
+
+    // --- Run TVOF.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let outcome = Mechanism::tvof(FormationConfig::default())
+        .run(&scenario, &mut rng)
+        .expect("mechanism runs");
+
+    println!("iter  |VO|  feasible  payoff/GSP  avg reputation  evicted");
+    for it in &outcome.iterations {
+        println!(
+            "{:>4}  {:>4}  {:>8}  {:>10}  {:>14.4}  {}",
+            it.iteration,
+            it.members.len(),
+            it.feasible,
+            it.payoff_share.map_or("-".to_string(), |p| format!("{p:.2}")),
+            it.avg_reputation,
+            it.evicted.map_or("-".to_string(), |g| format!("GSP {g}")),
+        );
+    }
+
+    let vo = outcome.selected.expect("a feasible VO exists");
+    println!("\nselected VO: members {:?}", vo.members);
+    println!("  total cost      {:.2} (payment {payment})", vo.cost);
+    println!("  value v(C)      {:.2}", vo.value);
+    println!("  payoff per GSP  {:.2}", vo.payoff_share);
+    println!("  avg reputation  {:.4}", vo.avg_reputation);
+    println!("  proven optimal  {}", vo.optimal);
+    assert!(
+        !vo.members.contains(&5),
+        "the distrusted GSP should have been evicted before selection"
+    );
+    println!("\nGSP 5 (distrusted) was evicted before the final VO formed — as intended.");
+}

@@ -1,0 +1,109 @@
+//! Reputation-engine and centrality comparison on trust graphs.
+//!
+//! Generates trust networks on three topologies (Erdős–Rényi as in the
+//! paper, Watts–Strogatz, Barabási–Albert) and ranks the GSPs with
+//! every reputation metric this library ships: the paper's power
+//! method (eigenvector centrality), PageRank, weighted in-degree,
+//! closeness, betweenness, and Hang-et-al. path propagation — showing
+//! how much the engines (dis)agree about who the most reputable
+//! providers are.
+//!
+//! ```text
+//! cargo run --release --example reputation_analysis
+//! ```
+
+use gridvo_trust::centrality;
+use gridvo_trust::generators;
+use gridvo_trust::propagation::{propagation_scores, PathCombine};
+use gridvo_trust::TrustGraph;
+use rand::SeedableRng;
+
+fn top3(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite"));
+    idx.truncate(3);
+    idx
+}
+
+/// Spearman rank correlation between two score vectors.
+fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    let rank = |xs: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("finite"));
+        let mut r = vec![0.0; xs.len()];
+        for (pos, &i) in idx.iter().enumerate() {
+            r[i] = pos as f64;
+        }
+        r
+    };
+    let ra = rank(a);
+    let rb = rank(b);
+    let mean = (n as f64 - 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..n {
+        num += (ra[i] - mean) * (rb[i] - mean);
+        da += (ra[i] - mean).powi(2);
+        db += (rb[i] - mean).powi(2);
+    }
+    if da == 0.0 || db == 0.0 {
+        0.0
+    } else {
+        num / (da * db).sqrt()
+    }
+}
+
+fn unit_weights(g: &TrustGraph) -> TrustGraph {
+    let mut out = TrustGraph::new(g.node_count());
+    let max = g.edges().map(|(_, _, w)| w).fold(1.0f64, f64::max);
+    for (i, j, w) in g.edges() {
+        out.set_trust(i, j, w / max);
+    }
+    out
+}
+
+fn main() {
+    let m = 16;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let graphs: Vec<(&str, TrustGraph)> = vec![
+        ("Erdos-Renyi p=0.2", generators::erdos_renyi_connected(&mut rng, m, 0.2, 0.05..1.0)),
+        ("Watts-Strogatz k=3 beta=0.3", generators::watts_strogatz(&mut rng, m, 3, 0.3, 0.05..1.0)),
+        ("Barabasi-Albert k=2", generators::barabasi_albert(&mut rng, m, 2, 0.05..1.0)),
+    ];
+
+    for (name, graph) in &graphs {
+        println!("== {name} ({} edges, density {:.2}) ==", graph.edge_count(), graph.density());
+        let eigen = centrality::eigenvector(graph).expect("converges");
+        let pr = centrality::pagerank(graph, 0.85).expect("converges");
+        let indeg = centrality::in_degree(graph);
+        let close = centrality::closeness(graph);
+        let betw = centrality::betweenness(graph);
+        let prop = propagation_scores(&unit_weights(graph), 3, PathCombine::Aggregate)
+            .expect("non-empty");
+
+        let engines: Vec<(&str, &Vec<f64>)> = vec![
+            ("power method (paper)", &eigen),
+            ("pagerank 0.85", &pr),
+            ("in-degree", &indeg),
+            ("closeness", &close),
+            ("betweenness", &betw),
+            ("path propagation", &prop),
+        ];
+        for (ename, scores) in &engines {
+            println!(
+                "  {:<22} top-3 GSPs {:?}   spearman vs power {:.3}",
+                ename,
+                top3(scores),
+                spearman(scores, &eigen)
+            );
+        }
+        println!();
+    }
+    println!(
+        "the eigenvector family (power method, PageRank) and in-degree broadly agree;\n\
+         path-based and betweenness metrics reward different structure — which is why\n\
+         the reputation engine is a pluggable choice in this library."
+    );
+}

@@ -1,0 +1,113 @@
+//! Integration: the earlier merge-and-split mechanism (ref. [25]) vs
+//! TVOF on generated VO-formation games.
+
+use gridvo_core::game_adapter::vo_game;
+use gridvo_core::mechanism::{FormationConfig, Mechanism};
+use gridvo_core::merge_split::{merge_split, merge_split_from};
+use gridvo_game::{CharacteristicFn, Coalition};
+use gridvo_sim::instance_gen::ScenarioGenerator;
+use gridvo_sim::runner::seeded_rng;
+use gridvo_sim::TableI;
+use gridvo_solver::branch_bound::BranchBound;
+
+fn scenario(seed: u64) -> gridvo_core::FormationScenario {
+    let cfg = TableI {
+        gsps: 5,
+        task_sizes: vec![15],
+        trace_jobs: 1_500,
+        deadline_factor_range: (4.0, 16.0),
+        ..TableI::default()
+    };
+    let generator = ScenarioGenerator::new(cfg);
+    let mut rng = seeded_rng(0x535, seed);
+    generator.scenario(15, &mut rng).expect("calibrated scenario")
+}
+
+#[test]
+fn merge_split_converges_on_vo_games() {
+    for seed in 0..4u64 {
+        let s = scenario(seed);
+        let game = vo_game(&s, BranchBound::default());
+        let out = merge_split(&game, 10_000);
+        assert!(out.converged, "seed {seed} hit the ops cap");
+        // the result is a partition
+        let mut union = Coalition::EMPTY;
+        for &c in &out.partition {
+            assert!(union.is_disjoint(c));
+            union = union.union(c);
+        }
+        assert_eq!(union, Coalition::grand(s.gsp_count()));
+    }
+}
+
+#[test]
+fn merge_split_result_is_merge_stable() {
+    let s = scenario(10);
+    let game = vo_game(&s, BranchBound::default());
+    let out = merge_split(&game, 10_000);
+    assert!(out.converged);
+    // no pair of final coalitions admits a profitable merge
+    let share = |c: Coalition| {
+        if c.is_empty() {
+            0.0
+        } else {
+            game.value(c) / c.len() as f64
+        }
+    };
+    for i in 0..out.partition.len() {
+        for j in (i + 1)..out.partition.len() {
+            let a = out.partition[i];
+            let b = out.partition[j];
+            let m = share(a.union(b));
+            let improving =
+                m >= share(a) - 1e-9 && m >= share(b) - 1e-9 && (m > share(a) + 1e-9 || m > share(b) + 1e-9);
+            assert!(!improving, "post-convergence merge {a} + {b} still profitable");
+        }
+    }
+}
+
+#[test]
+fn tvof_payoff_competitive_with_merge_split_best() {
+    // TVOF explores nested coalitions only, merge-and-split explores
+    // partitions; neither dominates in theory. With the loose
+    // deadlines small test programs need, merge-and-split can shrink
+    // to profit-dense 1–2 member coalitions TVOF's eviction chain may
+    // step past, so it often wins on share — but the two must stay
+    // within an order of magnitude on calibrated scenarios.
+    let mut tvof_total = 0.0;
+    let mut ms_total = 0.0;
+    for seed in 20..26u64 {
+        let s = scenario(seed);
+        let game = vo_game(&s, BranchBound::default());
+        let out = merge_split(&game, 10_000);
+        let ms_share = out
+            .best_coalition(&game)
+            .map(|c| game.value(c) / c.len() as f64)
+            .unwrap_or(0.0);
+        let mut rng = seeded_rng(0x536, seed);
+        let tvof = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
+        let tvof_share = tvof.selected.map(|v| v.payoff_share).unwrap_or(0.0);
+        tvof_total += tvof_share;
+        ms_total += ms_share;
+    }
+    assert!(tvof_total > 0.0 && ms_total > 0.0);
+    let ratio = tvof_total / ms_total;
+    assert!(
+        (0.1..=10.0).contains(&ratio),
+        "TVOF/merge-split payoff ratio {ratio} out of the expected band"
+    );
+}
+
+#[test]
+fn starting_partition_does_not_break_invariants() {
+    let s = scenario(30);
+    let game = vo_game(&s, BranchBound::default());
+    let grand = Coalition::grand(s.gsp_count());
+    let from_grand = merge_split_from(&game, vec![grand], 10_000);
+    assert!(from_grand.converged);
+    let mut union = Coalition::EMPTY;
+    for &c in &from_grand.partition {
+        union = union.union(c);
+    }
+    assert_eq!(union, grand);
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the formation mechanism itself, on
+//! randomly built scenarios (random costs, times, trust graphs).
+
+use gridvo_core::mechanism::{EvictionPolicy, FormationConfig, Mechanism};
+use gridvo_core::{FormationScenario, Gsp};
+use gridvo_solver::AssignmentInstance;
+use gridvo_trust::TrustGraph;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Random scenario: 2–5 GSPs, gsps..(gsps+6) tasks, random matrices,
+/// payment generous enough that feasibility varies with the deadline.
+fn scenario_strategy() -> impl Strategy<Value = FormationScenario> {
+    (2usize..=5, 0usize..=4).prop_flat_map(|(m, extra)| {
+        let n = m + 2 + extra;
+        (
+            proptest::collection::vec(1.0f64..30.0, n * m),
+            proptest::collection::vec(0.5f64..4.0, n * m),
+            proptest::collection::vec(0.0f64..1.0, m * m),
+            4.0f64..25.0,    // deadline
+            40.0f64..400.0,  // payment
+        )
+            .prop_map(move |(cost, time, trust_w, d, p)| {
+                let gsps = (0..m).map(|i| Gsp::new(i, 100.0 + i as f64)).collect();
+                let inst = AssignmentInstance::new(n, m, cost, time, d, p)
+                    .expect("valid instance");
+                let mut trust = TrustGraph::new(m);
+                for i in 0..m {
+                    for j in 0..m {
+                        if i != j && trust_w[i * m + j] > 0.5 {
+                            trust.set_trust(i, j, trust_w[i * m + j]);
+                        }
+                    }
+                }
+                FormationScenario::new(gsps, trust, inst).expect("consistent scenario")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    #[test]
+    fn trace_structure_invariants(s in scenario_strategy(), seed in 0u64..500) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let out = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
+        prop_assert!(!out.iterations.is_empty());
+        // iteration 0 is the grand coalition
+        prop_assert_eq!(out.iterations[0].members.len(), s.gsp_count());
+        for w in out.iterations.windows(2) {
+            // strict shrink by exactly the evicted member
+            let ev = w[0].evicted.expect("non-final iterations evict");
+            prop_assert!(w[0].members.contains(&ev));
+            prop_assert!(!w[1].members.contains(&ev));
+            prop_assert_eq!(w[0].members.len(), w[1].members.len() + 1);
+        }
+        // Algorithm 1's loop exit: last iteration is infeasible or a singleton
+        let last = out.iterations.last().unwrap();
+        prop_assert!(last.evicted.is_none());
+        prop_assert!(!last.feasible || last.members.len() == 1);
+        // reputation scores are per-member probability vectors
+        for it in &out.iterations {
+            prop_assert_eq!(it.reputation_scores.len(), it.members.len());
+            let sum: f64 = it.reputation_scores.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn selection_is_argmax_of_l(s in scenario_strategy(), seed in 0u64..500) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let out = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
+        match (&out.selected, out.best_payoff_share()) {
+            (Some(vo), Some(best)) => {
+                prop_assert!((vo.payoff_share - best).abs() < 1e-12);
+                // the selected VO really is one of the recorded ones
+                prop_assert!(out.feasible_vos.iter().any(|v| v.members == vo.members));
+            }
+            (None, None) => prop_assert!(out.feasible_vos.is_empty()),
+            other => prop_assert!(false, "selection inconsistent: {:?}", other.1),
+        }
+    }
+
+    #[test]
+    fn every_recorded_vo_is_feasible_and_consistent(
+        s in scenario_strategy(), seed in 0u64..500,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let out = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
+        for vo in &out.feasible_vos {
+            let inst = s.instance_for(&vo.members).expect("restriction works");
+            vo.assignment.check_feasible(&inst)
+                .map_err(|e| TestCaseError::fail(format!("infeasible record: {e}")))?;
+            prop_assert!((vo.assignment.total_cost(&inst) - vo.cost).abs() < 1e-9);
+            prop_assert!((vo.value - (s.payment() - vo.cost).max(0.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_eviction_policies_share_structure(
+        s in scenario_strategy(), seed in 0u64..200,
+    ) {
+        for policy in [
+            EvictionPolicy::LowestReputation,
+            EvictionPolicy::UniformRandom,
+            EvictionPolicy::HighestCost,
+            EvictionPolicy::LowestSpeed,
+        ] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let out = Mechanism::with_eviction(policy, FormationConfig::default())
+                .run(&s, &mut rng)
+                .unwrap();
+            // same structural invariants for every policy
+            for w in out.iterations.windows(2) {
+                prop_assert_eq!(w[0].members.len(), w[1].members.len() + 1);
+            }
+            let feasible = out.iterations.iter().filter(|i| i.feasible).count();
+            prop_assert_eq!(feasible, out.feasible_vos.len());
+        }
+    }
+
+    #[test]
+    fn rvof_and_tvof_agree_on_grand_coalition_value(
+        s in scenario_strategy(), seed in 0u64..200,
+    ) {
+        // iteration 0 solves the same IP for both mechanisms
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(1));
+        let t = Mechanism::tvof(FormationConfig::default()).run(&s, &mut r1).unwrap();
+        let r = Mechanism::rvof(FormationConfig::default()).run(&s, &mut r2).unwrap();
+        prop_assert_eq!(t.iterations[0].feasible, r.iterations[0].feasible);
+        match (t.iterations[0].cost, r.iterations[0].cost) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+            (None, None) => {}
+            other => prop_assert!(false, "grand-coalition costs disagree: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the solver substrate.
+//!
+//! The central property: on every random small instance, the
+//! branch-and-bound (sequential and parallel, seeded and unseeded)
+//! agrees **exactly** with the brute-force oracle — same feasibility
+//! verdict, same optimal cost. Heuristics must be sound (feasible or
+//! `None`) and never beat the optimum.
+
+use gridvo_solver::branch_bound::BranchBound;
+use gridvo_solver::heuristics::{self, Heuristic};
+use gridvo_solver::parallel::ParallelBranchBound;
+use gridvo_solver::{brute, AssignmentInstance};
+use proptest::prelude::*;
+
+/// Random small instance: 1–3 GSPs (≤ gsps ≤ tasks), 2–7 tasks, costs
+/// and times in small ranges, deadline/payment spanning feasible and
+/// infeasible regimes.
+fn small_instance() -> impl Strategy<Value = AssignmentInstance> {
+    (1usize..=3, 0usize..=5).prop_flat_map(|(gsps, extra_tasks)| {
+        let tasks = gsps + 1 + extra_tasks; // tasks > gsps keeps (13) satisfiable
+        let len = tasks * gsps;
+        (
+            proptest::collection::vec(1.0f64..20.0, len),
+            proptest::collection::vec(0.5f64..5.0, len),
+            2.0f64..18.0,   // deadline
+            10.0f64..120.0, // payment
+        )
+            .prop_map(move |(cost, time, d, p)| {
+                AssignmentInstance::new(tasks, gsps, cost, time, d, p).expect("valid instance")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn branch_and_bound_matches_brute_force(inst in small_instance()) {
+        let oracle = brute::solve(&inst);
+        let bb = BranchBound::default().solve(&inst);
+        match (oracle, bb) {
+            (None, None) => {}
+            (Some((_, oc)), Some(o)) => {
+                prop_assert!(o.optimal);
+                prop_assert!((o.cost - oc).abs() < 1e-9,
+                    "B&B cost {} vs oracle {}", o.cost, oc);
+                prop_assert!(o.assignment.is_feasible(&inst));
+            }
+            (a, b) => prop_assert!(false, "feasibility disagrees: oracle {:?} vs bb {:?}",
+                a.map(|x| x.1), b.map(|x| x.cost)),
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential(inst in small_instance()) {
+        let seq = BranchBound::default().solve(&inst);
+        let par = ParallelBranchBound::default().solve(&inst);
+        match (seq, par) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert!((a.cost - b.cost).abs() < 1e-9,
+                "parallel {} vs sequential {}", b.cost, a.cost),
+            (a, b) => prop_assert!(false, "feasibility disagrees: {:?} vs {:?}",
+                a.map(|x| x.cost), b.map(|x| x.cost)),
+        }
+    }
+
+    #[test]
+    fn unseeded_search_matches_seeded(inst in small_instance()) {
+        let seeded = BranchBound { seed_incumbent: true, ..Default::default() }.solve(&inst);
+        let bare = BranchBound { seed_incumbent: false, ..Default::default() }.solve(&inst);
+        match (seeded, bare) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert!((a.cost - b.cost).abs() < 1e-9),
+            _ => prop_assert!(false, "seeding changed feasibility"),
+        }
+    }
+
+    #[test]
+    fn heuristics_sound_and_never_better_than_optimal(inst in small_instance()) {
+        let optimal = BranchBound::default().solve(&inst).map(|o| o.cost);
+        for kind in [Heuristic::GreedyCost, Heuristic::MinMin,
+                     Heuristic::MaxMin, Heuristic::Sufferage] {
+            if let Some(a) = heuristics::run(kind, &inst) {
+                prop_assert!(a.is_feasible(&inst), "{kind:?} returned infeasible map");
+                let c = a.total_cost(&inst);
+                let opt = optimal.expect("heuristic found a solution, so one exists");
+                prop_assert!(c >= opt - 1e-9,
+                    "{kind:?} cost {c} beats the proven optimum {opt}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_solution_is_stable_under_gsp_permutation(inst in small_instance()) {
+        // permute GSP columns: the optimal COST must be invariant
+        let k = inst.gsps();
+        let perm: Vec<usize> = (0..k).rev().collect();
+        let permuted = inst.restrict_gsps(&perm).expect("full permutation");
+        let a = BranchBound::default().solve(&inst).map(|o| o.cost);
+        let b = BranchBound::default().solve(&permuted).map(|o| o.cost);
+        match (a, b) {
+            (None, None) => {}
+            (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+            _ => prop_assert!(false, "permutation changed feasibility"),
+        }
+    }
+
+    #[test]
+    fn raising_payment_never_hurts(inst in small_instance()) {
+        let richer = AssignmentInstance::new(
+            inst.tasks(), inst.gsps(),
+            (0..inst.tasks()).flat_map(|t| inst.cost_row(t).to_vec()).collect(),
+            (0..inst.tasks()).flat_map(|t| inst.time_row(t).to_vec()).collect(),
+            inst.deadline(), inst.payment() * 2.0,
+        ).expect("valid");
+        let base = BranchBound::default().solve(&inst);
+        let rich = BranchBound::default().solve(&richer);
+        if let Some(b) = &base {
+            let r = rich.as_ref().expect("loosening payment keeps feasibility");
+            prop_assert!(r.cost <= b.cost + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the trust/reputation substrate.
+
+use gridvo_trust::generators;
+use gridvo_trust::normalize::{is_row_stochastic, row_normalize, DanglingPolicy};
+use gridvo_trust::{DenseMatrix, PowerMethod, TrustGraph};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Random trust graph: n nodes, random subset of edges with positive
+/// weights.
+fn trust_graph() -> impl Strategy<Value = TrustGraph> {
+    (2usize..=10).prop_flat_map(|n| {
+        proptest::collection::vec(0.0f64..1.0, n * n).prop_map(move |ws| {
+            let mut g = TrustGraph::new(n);
+            for i in 0..n {
+                for j in 0..n {
+                    let w = ws[i * n + j];
+                    // sparsify: keep ~40% of edges, no self-loops
+                    if i != j && w > 0.6 {
+                        g.set_trust(i, j, w);
+                    }
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn normalization_is_row_stochastic(g in trust_graph()) {
+        for policy in [DanglingPolicy::Uniform, DanglingPolicy::SelfLoop] {
+            let a = row_normalize(&g, policy);
+            prop_assert!(is_row_stochastic(&a, 1e-9, false));
+        }
+        let a = row_normalize(&g, DanglingPolicy::Zero);
+        prop_assert!(is_row_stochastic(&a, 1e-9, true));
+    }
+
+    #[test]
+    fn normalization_preserves_proportions(g in trust_graph()) {
+        let a = row_normalize(&g, DanglingPolicy::Uniform);
+        let n = g.node_count();
+        for i in 0..n {
+            let sum = g.out_trust_sum(i);
+            if sum > 0.0 {
+                for j in 0..n {
+                    prop_assert!((a[(i, j)] - g.trust(i, j) / sum).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn power_method_returns_probability_fixed_point(g in trust_graph()) {
+        let a = row_normalize(&g, DanglingPolicy::Uniform);
+        let rep = PowerMethod::default().run(&a).expect("lazy iteration converges");
+        let sum: f64 = rep.scores.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-8, "not a distribution: {sum}");
+        prop_assert!(rep.scores.iter().all(|&s| s >= -1e-12));
+        // fixed point: ‖Aᵀx − λx‖∞ small
+        let n = rep.scores.len();
+        let mut ax = vec![0.0; n];
+        a.mul_transpose_vec_into(&rep.scores, &mut ax).unwrap();
+        for (l, r) in ax.iter().zip(rep.scores.iter()) {
+            prop_assert!((l - rep.eigenvalue * r).abs() < 1e-5,
+                "eigen equation violated: {l} vs λ·{r}");
+        }
+    }
+
+    #[test]
+    fn damped_power_method_always_converges(g in trust_graph()) {
+        let a = row_normalize(&g, DanglingPolicy::Uniform);
+        let rep = PowerMethod::damped(0.85).run(&a).expect("damped always converges");
+        prop_assert!(rep.iterations < 10_000);
+    }
+
+    #[test]
+    fn restriction_commutes_with_edge_lookup(g in trust_graph()) {
+        let n = g.node_count();
+        // take the even-indexed nodes
+        let members: Vec<usize> = (0..n).step_by(2).collect();
+        let sub = g.restrict(&members).expect("valid subset");
+        for (a, &i) in members.iter().enumerate() {
+            for (b, &j) in members.iter().enumerate() {
+                prop_assert_eq!(sub.trust(a, b), g.trust(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn er_generator_density_concentrates(p in 0.05f64..0.9, seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = 60;
+        let g = generators::erdos_renyi(&mut rng, m, p, 0.1..1.0);
+        let density = g.density();
+        // binomial concentration: 4 std devs over m(m−1) trials
+        let trials = (m * (m - 1)) as f64;
+        let tol = 4.0 * (p * (1.0 - p) / trials).sqrt() + 1e-9;
+        prop_assert!((density - p).abs() <= tol,
+            "density {density} vs p {p} (tol {tol})");
+    }
+
+    #[test]
+    fn matrix_transpose_involution(vals in proptest::collection::vec(-5.0f64..5.0, 12)) {
+        let m = DenseMatrix::from_rows(3, 4, vals).unwrap();
+        let tt = m.transpose().transpose();
+        prop_assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn mat_vec_linearity(
+        vals in proptest::collection::vec(-2.0f64..2.0, 9),
+        x in proptest::collection::vec(-2.0f64..2.0, 3),
+        y in proptest::collection::vec(-2.0f64..2.0, 3),
+    ) {
+        let m = DenseMatrix::from_rows(3, 3, vals).unwrap();
+        let xy: Vec<f64> = x.iter().zip(y.iter()).map(|(a, b)| a + b).collect();
+        let mut mx = vec![0.0; 3];
+        let mut my = vec![0.0; 3];
+        let mut mxy = vec![0.0; 3];
+        m.mul_vec_into(&x, &mut mx).unwrap();
+        m.mul_vec_into(&y, &mut my).unwrap();
+        m.mul_vec_into(&xy, &mut mxy).unwrap();
+        for i in 0..3 {
+            prop_assert!((mxy[i] - (mx[i] + my[i])).abs() < 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    #[test]
+    fn power_method_is_permutation_equivariant(g in trust_graph(), shift in 1usize..5) {
+        // relabeling GSPs by a cyclic shift permutes scores identically
+        let n = g.node_count();
+        let shift = shift % n;
+        let perm: Vec<usize> = (0..n).map(|i| (i + shift) % n).collect();
+        // build the relabeled graph: new node p(i) = old node i
+        let mut h = TrustGraph::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                let w = g.trust(i, j);
+                if w > 0.0 {
+                    h.set_trust(perm[i], perm[j], w);
+                }
+            }
+        }
+        let pm = PowerMethod::default();
+        let rg = pm.run(&row_normalize(&g, DanglingPolicy::Uniform)).unwrap();
+        let rh = pm.run(&row_normalize(&h, DanglingPolicy::Uniform)).unwrap();
+        for i in 0..n {
+            prop_assert!(
+                (rg.scores[i] - rh.scores[perm[i]]).abs() < 1e-7,
+                "score of node {i} changed under relabeling: {} vs {}",
+                rg.scores[i], rh.scores[perm[i]]
+            );
+        }
+    }
+
+    #[test]
+    fn spectral_gap_is_well_defined(g in trust_graph()) {
+        use gridvo_trust::spectral::spectral_report;
+        let a = row_normalize(&g, DanglingPolicy::Uniform);
+        let r = spectral_report(&a, &PowerMethod::default()).unwrap();
+        prop_assert!(r.lambda1 > 0.0);
+        prop_assert!(r.lambda2 >= 0.0);
+        prop_assert!(r.lambda2 <= r.lambda1 + 1e-9);
+        prop_assert!(r.mixing_iterations >= 0.0);
+    }
+
+    #[test]
+    fn dot_export_is_structurally_complete(g in trust_graph()) {
+        let dot = g.to_dot("t");
+        prop_assert_eq!(dot.matches("->").count(), g.edge_count());
+        for i in 0..g.node_count() {
+            let node_decl = format!("g{i} [label=");
+            prop_assert!(dot.contains(&node_decl), "missing node {}", i);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the workload substrate.
+
+use gridvo_workload::program::{Program, ProgramExtractor};
+use gridvo_workload::swf::{SwfJob, SwfStatus, SwfTrace};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_status() -> impl Strategy<Value = SwfStatus> {
+    prop_oneof![
+        Just(SwfStatus::Completed),
+        Just(SwfStatus::Failed),
+        Just(SwfStatus::Cancelled),
+        Just(SwfStatus::Unknown),
+    ]
+}
+
+fn arb_job() -> impl Strategy<Value = SwfJob> {
+    (
+        1i64..100_000,
+        0.0f64..1e7,
+        0.0f64..1e4,
+        1.0f64..2e5,
+        1i64..9216,
+        arb_status(),
+    )
+        .prop_map(|(id, submit, wait, run, procs, status)| SwfJob {
+            job_id: id,
+            submit_time: submit,
+            wait_time: wait,
+            run_time: run,
+            allocated_procs: procs,
+            avg_cpu_time: run * 0.95,
+            used_memory: -1.0,
+            requested_procs: procs,
+            requested_time: run * 1.5,
+            requested_memory: -1.0,
+            status,
+            user_id: 1,
+            group_id: 1,
+            executable: 1,
+            queue: 1,
+            partition: 1,
+            preceding_job: -1,
+            think_time: -1.0,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    #[test]
+    fn swf_text_round_trip(jobs in proptest::collection::vec(arb_job(), 0..40)) {
+        let trace = SwfTrace { header: vec![("Version".into(), "2.1".into())], jobs };
+        let text = trace.to_swf();
+        let back = SwfTrace::parse(&text).expect("own output parses");
+        prop_assert_eq!(back.jobs.len(), trace.jobs.len());
+        for (a, b) in trace.jobs.iter().zip(back.jobs.iter()) {
+            prop_assert_eq!(a.job_id, b.job_id);
+            prop_assert_eq!(a.allocated_procs, b.allocated_procs);
+            prop_assert_eq!(a.status, b.status);
+            prop_assert!((a.run_time - b.run_time).abs() <= 1e-9 * a.run_time.abs().max(1.0));
+            prop_assert!((a.submit_time - b.submit_time).abs()
+                <= 1e-9 * a.submit_time.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn filters_partition_the_trace(jobs in proptest::collection::vec(arb_job(), 0..60)) {
+        let trace = SwfTrace { header: vec![], jobs };
+        let completed = trace.completed().count();
+        let not_completed =
+            trace.jobs.iter().filter(|j| j.status != SwfStatus::Completed).count();
+        prop_assert_eq!(completed + not_completed, trace.jobs.len());
+        // large_completed ⊆ completed, monotone in the threshold
+        let large1 = trace.large_completed(1000.0).count();
+        let large2 = trace.large_completed(10_000.0).count();
+        prop_assert!(large2 <= large1);
+        prop_assert!(large1 <= completed);
+    }
+
+    #[test]
+    fn extraction_respects_formulas(job in arb_job(), seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ex = ProgramExtractor::default();
+        let p = ex.extract(&job, &mut rng);
+        prop_assert_eq!(p.tasks(), job.allocated_procs.max(1) as usize);
+        let max_w = job.task_runtime() * 4.91;
+        for t in 0..p.tasks() {
+            let w = p.workload(t);
+            prop_assert!(w >= 0.5 * max_w - 1e-9 && w <= max_w + 1e-9,
+                "workload {w} outside [{}, {}]", 0.5 * max_w, max_w);
+        }
+        prop_assert!((p.base_runtime - job.task_runtime()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn execution_time_scales_inversely_with_speed(
+        workloads in proptest::collection::vec(1.0f64..1e6, 1..20),
+        speed in 10.0f64..1000.0,
+    ) {
+        let p = Program::new(1, 7200.0, workloads.clone());
+        for t in 0..p.tasks() {
+            let t1 = p.execution_time(t, speed);
+            let t2 = p.execution_time(t, 2.0 * speed);
+            prop_assert!((t1 - 2.0 * t2).abs() < 1e-9 * t1.max(1.0));
+        }
+        prop_assert!((p.total_workload() - workloads.iter().sum::<f64>()).abs()
+            < 1e-9 * p.total_workload().max(1.0));
+    }
+}

@@ -1,0 +1,121 @@
+//! Serialization round-trip and validation tests for the on-disk
+//! formats the CLI exchanges: scenarios (JSON) and traces (SWF).
+
+use gridvo_core::{FormationScenario, Gsp};
+use gridvo_sim::instance_gen::ScenarioGenerator;
+use gridvo_sim::runner::seeded_rng;
+use gridvo_sim::TableI;
+use gridvo_solver::AssignmentInstance;
+use gridvo_trust::TrustGraph;
+
+fn scenario() -> FormationScenario {
+    let cfg = TableI {
+        gsps: 5,
+        task_sizes: vec![15],
+        trace_jobs: 1_500,
+        deadline_factor_range: (4.0, 16.0),
+        ..TableI::default()
+    };
+    let generator = ScenarioGenerator::new(cfg);
+    let mut rng = seeded_rng(0x5E2DE, 1);
+    generator.scenario(15, &mut rng).expect("calibrated scenario")
+}
+
+#[test]
+fn scenario_round_trips_exactly() {
+    let s = scenario();
+    let json = serde_json::to_string(&s).unwrap();
+    let back: FormationScenario = serde_json::from_str(&json).unwrap();
+    assert_eq!(s.instance(), back.instance());
+    assert_eq!(s.trust(), back.trust());
+    assert_eq!(s.gsps(), back.gsps());
+}
+
+#[test]
+fn trust_graph_round_trips() {
+    let mut g = TrustGraph::new(4);
+    g.set_trust(0, 1, 0.75);
+    g.set_trust(3, 2, 0.25);
+    let json = serde_json::to_string(&g).unwrap();
+    let back: TrustGraph = serde_json::from_str(&json).unwrap();
+    assert_eq!(g, back);
+}
+
+#[test]
+fn instance_round_trips() {
+    let i = AssignmentInstance::new(
+        3,
+        2,
+        vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        vec![1.0; 6],
+        5.0,
+        10.0,
+    )
+    .unwrap();
+    let json = serde_json::to_string(&i).unwrap();
+    let back: AssignmentInstance = serde_json::from_str(&json).unwrap();
+    assert_eq!(i, back);
+}
+
+#[test]
+fn malformed_instance_json_rejected() {
+    // negative cost entry
+    let bad = r#"{"tasks":2,"gsps":2,"cost":[1.0,-1.0,1.0,1.0],"time":[1.0,1.0,1.0,1.0],"deadline":5.0,"payment":10.0}"#;
+    assert!(serde_json::from_str::<AssignmentInstance>(bad).is_err());
+    // shape mismatch
+    let bad = r#"{"tasks":2,"gsps":2,"cost":[1.0],"time":[1.0,1.0,1.0,1.0],"deadline":5.0,"payment":10.0}"#;
+    assert!(serde_json::from_str::<AssignmentInstance>(bad).is_err());
+    // fewer tasks than GSPs (constraint 13)
+    let bad = r#"{"tasks":1,"gsps":2,"cost":[1.0,1.0],"time":[1.0,1.0],"deadline":5.0,"payment":10.0}"#;
+    assert!(serde_json::from_str::<AssignmentInstance>(bad).is_err());
+}
+
+#[test]
+fn malformed_trust_json_rejected() {
+    // negative weight
+    let bad = r#"{"weights":{"rows":2,"cols":2,"data":[0.0,-0.5,0.0,0.0]}}"#;
+    assert!(serde_json::from_str::<TrustGraph>(bad).is_err());
+    // non-square
+    let bad = r#"{"weights":{"rows":2,"cols":3,"data":[0,0,0,0,0,0]}}"#;
+    assert!(serde_json::from_str::<TrustGraph>(bad).is_err());
+    // data length mismatch inside the matrix
+    let bad = r#"{"weights":{"rows":2,"cols":2,"data":[0.0]}}"#;
+    assert!(serde_json::from_str::<TrustGraph>(bad).is_err());
+}
+
+#[test]
+fn desynchronized_scenario_rejected() {
+    // 3 GSPs declared, but a 2×2 trust graph
+    let gsps: Vec<Gsp> = (0..3).map(|i| Gsp::new(i, 100.0)).collect();
+    let trust = TrustGraph::new(2);
+    let instance = AssignmentInstance::new(
+        4,
+        3,
+        vec![1.0; 12],
+        vec![1.0; 12],
+        5.0,
+        10.0,
+    )
+    .unwrap();
+    // Can't build it through the constructor, so splice JSON by hand.
+    let json = format!(
+        r#"{{"gsps":{},"trust":{},"instance":{}}}"#,
+        serde_json::to_string(&gsps).unwrap(),
+        serde_json::to_string(&trust).unwrap(),
+        serde_json::to_string(&instance).unwrap(),
+    );
+    assert!(serde_json::from_str::<FormationScenario>(&json).is_err());
+}
+
+#[test]
+fn outcome_serializes_for_archival() {
+    use gridvo_core::mechanism::{FormationConfig, Mechanism};
+    use rand::SeedableRng;
+    let s = scenario();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let outcome = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
+    let json = serde_json::to_string_pretty(&outcome).unwrap();
+    assert!(json.contains("iterations"));
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert!(value["iterations"].as_array().unwrap().len() == outcome.iterations.len());
+}
