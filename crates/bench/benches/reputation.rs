@@ -37,12 +37,8 @@ fn bench_engines(c: &mut Criterion) {
     let mut rng = seeded_rng(0xBEB, 1);
     let graph = generators::erdos_renyi(&mut rng, 16, 0.2, 0.05..1.0);
     let a = row_normalize(&graph, DanglingPolicy::Uniform);
-    group.bench_function("power_method", |b| {
-        b.iter(|| PowerMethod::default().run(&a).unwrap())
-    });
-    group.bench_function("pagerank_085", |b| {
-        b.iter(|| PowerMethod::damped(0.85).run(&a).unwrap())
-    });
+    group.bench_function("power_method", |b| b.iter(|| PowerMethod::default().run(&a).unwrap()));
+    group.bench_function("pagerank_085", |b| b.iter(|| PowerMethod::damped(0.85).run(&a).unwrap()));
     group.bench_function("path_propagation_3hop", |b| {
         b.iter(|| propagation_scores(&graph_unit(&graph), 3, PathCombine::Aggregate).unwrap())
     });

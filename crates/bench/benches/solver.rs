@@ -16,11 +16,7 @@ fn instance(tasks: usize) -> AssignmentInstance {
     let cfg = TableI { task_sizes: vec![tasks], ..TableI::default() };
     let generator = ScenarioGenerator::new(cfg);
     let mut rng = seeded_rng(0xBE7C5, tasks as u64);
-    generator
-        .scenario(tasks, &mut rng)
-        .expect("calibrated scenario")
-        .instance()
-        .clone()
+    generator.scenario(tasks, &mut rng).expect("calibrated scenario").instance().clone()
 }
 
 fn bench_exact(c: &mut Criterion) {
@@ -32,10 +28,8 @@ fn bench_exact(c: &mut Criterion) {
             b.iter(|| bb.solve(inst));
         });
         group.bench_with_input(BenchmarkId::new("parallel", tasks), &inst, |b, inst| {
-            let pbb = ParallelBranchBound {
-                max_nodes_per_subtree: 2_000_000,
-                ..Default::default()
-            };
+            let pbb =
+                ParallelBranchBound { max_nodes_per_subtree: 2_000_000, ..Default::default() };
             b.iter(|| pbb.solve(inst));
         });
     }

@@ -53,10 +53,7 @@ fn main() {
             format!("{:.2}", s.mean),
             format!("{:.4}", r.mean),
         ]);
-        csv.push_str(&format!(
-            "{},{:.6},{:.6},{:.4},{:.6}\n",
-            name, p.mean, p.std, s.mean, r.mean
-        ));
+        csv.push_str(&format!("{},{:.6},{:.6},{:.4},{:.6}\n", name, p.mean, p.std, s.mean, r.mean));
     }
     println!("{}", ascii_table(&["policy", "payoff", "|VO|", "avg rep"], &rows));
     args.write_artifact("ablation_eviction.csv", &csv).unwrap();

@@ -44,8 +44,7 @@ fn main() {
                 sizes.push(vo.size() as f64);
             }
         }
-        let (p, r, s) =
-            (Aggregate::of(&payoffs), Aggregate::of(&reps), Aggregate::of(&sizes));
+        let (p, r, s) = (Aggregate::of(&payoffs), Aggregate::of(&reps), Aggregate::of(&sizes));
         rows.push(vec![
             name.to_string(),
             format!("{:.2}", p.mean),

@@ -67,10 +67,7 @@ fn main() {
             format!("{:.3}", t.mean),
             format!("{}/{}", formed, args.seeds.len()),
         ]);
-        csv.push_str(&format!(
-            "{},{:.6},{:.6},{:.6},{}\n",
-            name, p.mean, p.std, t.mean, formed
-        ));
+        csv.push_str(&format!("{},{:.6},{:.6},{:.6},{}\n", name, p.mean, p.std, t.mean, formed));
     }
     println!("{}", ascii_table(&["solver", "payoff", "seconds", "formed"], &rows));
     args.write_artifact("ablation_solver.csv", &csv).unwrap();

@@ -22,8 +22,14 @@ fn topologies(m: usize) -> Vec<(&'static str, TopologyGen)> {
         ("ER p=0.05", Box::new(move |rng| generators::erdos_renyi(rng, m, 0.05, 0.05..1.0))),
         ("ER p=0.1 (paper)", Box::new(move |rng| generators::erdos_renyi(rng, m, 0.1, 0.05..1.0))),
         ("ER p=0.3", Box::new(move |rng| generators::erdos_renyi(rng, m, 0.3, 0.05..1.0))),
-        ("Watts-Strogatz k=2 beta=0.3", Box::new(move |rng| generators::watts_strogatz(rng, m, 2, 0.3, 0.05..1.0))),
-        ("Barabasi-Albert k=2", Box::new(move |rng| generators::barabasi_albert(rng, m, 2, 0.05..1.0))),
+        (
+            "Watts-Strogatz k=2 beta=0.3",
+            Box::new(move |rng| generators::watts_strogatz(rng, m, 2, 0.3, 0.05..1.0)),
+        ),
+        (
+            "Barabasi-Albert k=2",
+            Box::new(move |rng| generators::barabasi_albert(rng, m, 2, 0.05..1.0)),
+        ),
         ("complete", Box::new(move |rng| generators::complete(rng, m, 0.05..1.0))),
     ]
 }
@@ -47,12 +53,9 @@ fn main() {
             let mut rng = seeded_rng(0xAB70, seed);
             let base = generator.scenario(tasks, &mut rng).expect("calibrated scenario");
             let trust = make_trust(&mut rng);
-            let scenario = FormationScenario::new(
-                base.gsps().to_vec(),
-                trust,
-                base.instance().clone(),
-            )
-            .expect("shapes agree");
+            let scenario =
+                FormationScenario::new(base.gsps().to_vec(), trust, base.instance().clone())
+                    .expect("shapes agree");
             let tvof = Mechanism::tvof(mech_cfg).run(&scenario, &mut rng).unwrap();
             let rvof = Mechanism::rvof(mech_cfg).run(&scenario, &mut rng).unwrap();
             if let (Some(a), Some(b)) = (tvof.selected, rvof.selected) {
@@ -78,10 +81,7 @@ fn main() {
     }
     println!(
         "{}",
-        ascii_table(
-            &["topology", "TVOF rep", "RVOF rep", "TVOF payoff", "RVOF payoff"],
-            &rows
-        )
+        ascii_table(&["topology", "TVOF rep", "RVOF rep", "TVOF payoff", "RVOF payoff"], &rows)
     );
     args.write_artifact("ablation_topology.csv", &csv).unwrap();
 }

@@ -41,7 +41,8 @@ fn main() {
     let month_decay = DecayModel { half_life: 30.0 * 86_400.0, ..Default::default() };
 
     let mut rows = Vec::new();
-    let mut csv = String::from("months_after,no_decay_edges,no_decay_mass,decay_edges,decay_mass\n");
+    let mut csv =
+        String::from("months_after,no_decay_edges,no_decay_mass,decay_edges,decay_mass\n");
     for months in [0u32, 3, 6, 12, 24] {
         let now = 52.0 * week + months as f64 * 30.0 * 86_400.0;
         let g0 = no_decay.trust_at(&ledger, now);
@@ -67,7 +68,13 @@ fn main() {
     println!(
         "{}",
         ascii_table(
-            &["months idle", "edges (no decay)", "mass (no decay)", "edges (30d half-life)", "mass (30d half-life)"],
+            &[
+                "months idle",
+                "edges (no decay)",
+                "mass (no decay)",
+                "edges (30d half-life)",
+                "mass (30d half-life)"
+            ],
             &rows
         )
     );

@@ -18,20 +18,12 @@ fn main() {
     let args = BenchArgs::from_env();
     let rounds = if args.paper { 40 } else { 16 };
     let tasks = 64;
-    let table = TableI {
-        task_sizes: vec![tasks],
-        trace_jobs: 5_000,
-        ..TableI::default()
-    };
+    let table = TableI { task_sizes: vec![tasks], trace_jobs: 5_000, ..TableI::default() };
 
     let mech_cfg = paper_config(&table);
-    let mut csv = String::from(
-        "mechanism,seed,early_reliability,late_reliability,success_rate\n",
-    );
+    let mut csv = String::from("mechanism,seed,early_reliability,late_reliability,success_rate\n");
     let mut rows = Vec::new();
-    for (name, mech) in
-        [("TVOF", Mechanism::tvof(mech_cfg)), ("RVOF", Mechanism::rvof(mech_cfg))]
-    {
+    for (name, mech) in [("TVOF", Mechanism::tvof(mech_cfg)), ("RVOF", Mechanism::rvof(mech_cfg))] {
         let mut early = Vec::new();
         let mut late = Vec::new();
         let mut success = Vec::new();
@@ -56,8 +48,7 @@ fn main() {
                 success_rate(&records)
             ));
         }
-        let (e, l, s) =
-            (Aggregate::of(&early), Aggregate::of(&late), Aggregate::of(&success));
+        let (e, l, s) = (Aggregate::of(&early), Aggregate::of(&late), Aggregate::of(&success));
         rows.push(vec![
             name.to_string(),
             format!("{:.4}", e.mean),
@@ -69,7 +60,13 @@ fn main() {
     println!(
         "{}",
         ascii_table(
-            &["mechanism", "early-half reliability", "late-half reliability", "drift", "success rate"],
+            &[
+                "mechanism",
+                "early-half reliability",
+                "late-half reliability",
+                "drift",
+                "success rate"
+            ],
             &rows
         )
     );

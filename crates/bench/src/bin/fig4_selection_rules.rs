@@ -31,10 +31,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        ascii_table(&["program", "max-payoff VO", "max-product VO", "same VO"], &table)
-    );
+    println!("{}", ascii_table(&["program", "max-payoff VO", "max-product VO", "same VO"], &table));
     let coincide = rows.iter().filter(|r| r.same_vo).count();
     println!("rules selected the same VO on {coincide}/{} programs", rows.len());
 

@@ -32,20 +32,11 @@ fn main() {
                 ]
             })
             .collect();
-        println!(
-            "{}",
-            ascii_table(&["iter", "|VO|", "feasible", "payoff", "avg rep"], &rows)
-        );
-        args.write_artifact(
-            &format!("fig56_program_{label}.csv"),
-            &report::trace_csv(&trace),
-        )
-        .unwrap();
-        args.write_artifact(
-            &format!("fig56_program_{label}.json"),
-            &report::to_json(&trace),
-        )
-        .unwrap();
+        println!("{}", ascii_table(&["iter", "|VO|", "feasible", "payoff", "avg rep"], &rows));
+        args.write_artifact(&format!("fig56_program_{label}.csv"), &report::trace_csv(&trace))
+            .unwrap();
+        args.write_artifact(&format!("fig56_program_{label}.json"), &report::to_json(&trace))
+            .unwrap();
         args.write_artifact(
             &format!("fig56_program_{label}.gnuplot"),
             &report::trace_gnuplot(

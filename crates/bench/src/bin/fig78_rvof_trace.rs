@@ -32,14 +32,8 @@ fn main() {
                 ]
             })
             .collect();
-        println!(
-            "{}",
-            ascii_table(&["iter", "|VO|", "feasible", "payoff", "avg rep"], &rows)
-        );
-        args.write_artifact(
-            &format!("fig78_program_{label}.csv"),
-            &report::trace_csv(&trace),
-        )
-        .unwrap();
+        println!("{}", ascii_table(&["iter", "|VO|", "feasible", "payoff", "avg rep"], &rows));
+        args.write_artifact(&format!("fig78_program_{label}.csv"), &report::trace_csv(&trace))
+            .unwrap();
     }
 }

@@ -1,9 +1,12 @@
-//! Fig. 9 — mechanism execution time vs number of tasks.
+//! Fig. 9 — mechanism execution time vs number of tasks — plus the
+//! incremental-engine benchmark: the same workload run cold vs warm
+//! (incumbent carry-over + power-method warm starts), emitted as
+//! `BENCH_formation.json`.
 //!
 //! Thin per-figure entry point over the shared task sweep; run
 //! `sweep_all` to regenerate Figs. 1/2/3/9 in one pass instead.
 
-use gridvo_bench::BenchArgs;
+use gridvo_bench::{ascii_table, BenchArgs};
 use gridvo_sim::{experiments, report};
 
 fn main() {
@@ -19,4 +22,30 @@ fn main() {
     let csv = report::fig9_csv(&points);
     print!("{csv}");
     args.write_artifact("fig9_runtime.csv", &csv).unwrap();
+
+    let wc = match experiments::warm_cold_sweep(&cfg, &args.seeds) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("warm/cold sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rows: Vec<Vec<String>> = wc
+        .iter()
+        .map(|p| {
+            vec![
+                p.tasks.to_string(),
+                format!("{:.4}", p.cold_seconds.mean),
+                format!("{:.4}", p.warm_seconds.mean),
+                p.cold_nodes.to_string(),
+                p.warm_nodes.to_string(),
+                format!("{:.2}x", p.speedup),
+            ]
+        })
+        .collect();
+    eprintln!(
+        "{}",
+        ascii_table(&["tasks", "cold s", "warm s", "cold nodes", "warm nodes", "speedup"], &rows)
+    );
+    args.write_artifact("BENCH_formation.json", &report::to_json(&wc)).unwrap();
 }

@@ -57,6 +57,16 @@ fn main() {
         )
     );
 
+    match experiments::warm_cold_sweep(&cfg, &args.seeds) {
+        Ok(wc) => {
+            args.write_artifact("BENCH_formation.json", &report::to_json(&wc)).unwrap();
+        }
+        Err(e) => {
+            eprintln!("warm/cold sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
     args.write_artifact("fig1_payoff.csv", &report::fig1_csv(&points)).unwrap();
     args.write_artifact("fig2_vo_size.csv", &report::fig2_csv(&points)).unwrap();
     args.write_artifact("fig3_reputation.csv", &report::fig3_csv(&points)).unwrap();
@@ -65,7 +75,12 @@ fn main() {
     for (csv, png, title, label) in [
         ("fig1_payoff.csv", "fig1.png", "Fig. 1 - GSP individual payoff", "Payoff per GSP"),
         ("fig2_vo_size.csv", "fig2.png", "Fig. 2 - final VO size", "VO size (GSPs)"),
-        ("fig3_reputation.csv", "fig3.png", "Fig. 3 - average reputation", "Average global reputation"),
+        (
+            "fig3_reputation.csv",
+            "fig3.png",
+            "Fig. 3 - average reputation",
+            "Average global reputation",
+        ),
         ("fig9_runtime.csv", "fig9.png", "Fig. 9 - execution time", "Seconds"),
     ] {
         let script = report::sweep_gnuplot(csv, png, title, label);

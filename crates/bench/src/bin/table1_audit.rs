@@ -32,11 +32,7 @@ fn main() {
                 cmax = cmax.max(inst.cost(t, g));
             }
         }
-        let smin = scenario
-            .gsps()
-            .iter()
-            .map(|g| g.speed_gflops)
-            .fold(f64::INFINITY, f64::min);
+        let smin = scenario.gsps().iter().map(|g| g.speed_gflops).fold(f64::INFINITY, f64::min);
         let smax = scenario.gsps().iter().map(|g| g.speed_gflops).fold(0.0f64, f64::max);
         densities.push(scenario.trust().density());
         rows.push(vec![
@@ -58,7 +54,16 @@ fn main() {
     println!(
         "{}",
         ascii_table(
-            &["seed", "m", "n", "speeds GFLOPS", "cost range", "deadline s", "payment", "trust density"],
+            &[
+                "seed",
+                "m",
+                "n",
+                "speeds GFLOPS",
+                "cost range",
+                "deadline s",
+                "payment",
+                "trust density"
+            ],
             &rows
         )
     );

@@ -59,8 +59,7 @@ impl BenchArgs {
                 }
                 "--seeds" => {
                     let v = it.next().ok_or_else(|| "--seeds needs a count".to_string())?;
-                    n_seeds =
-                        Some(v.parse().map_err(|_| format!("bad seed count {v:?}"))?);
+                    n_seeds = Some(v.parse().map_err(|_| format!("bad seed count {v:?}"))?);
                 }
                 "--help" | "-h" => {
                     return Err("usage: [--paper] [--out DIR] [--seeds N]".to_string())
@@ -92,11 +91,7 @@ impl BenchArgs {
         if self.paper {
             TableI::default()
         } else {
-            TableI {
-                task_sizes: vec![64, 128, 256, 512],
-                trace_jobs: 5_000,
-                ..TableI::default()
-            }
+            TableI { task_sizes: vec![64, 128, 256, 512], trace_jobs: 5_000, ..TableI::default() }
         }
     }
 
@@ -144,10 +139,7 @@ pub fn ascii_table(header: &[&str], rows: &[Vec<String>]) -> String {
         line.push('\n');
         line
     };
-    out.push_str(&fmt_row(
-        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
-        &widths,
-    ));
+    out.push_str(&fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths));
     for row in rows {
         out.push_str(&fmt_row(row, &widths));
     }
@@ -168,10 +160,8 @@ mod tests {
 
     #[test]
     fn parse_paper_flags() {
-        let a = BenchArgs::parse(
-            ["--paper", "--out", "/tmp/x", "--seeds", "3"].map(String::from),
-        )
-        .unwrap();
+        let a = BenchArgs::parse(["--paper", "--out", "/tmp/x", "--seeds", "3"].map(String::from))
+            .unwrap();
         assert!(a.paper);
         assert_eq!(a.out, PathBuf::from("/tmp/x"));
         assert_eq!(a.seeds, vec![1, 2, 3]);

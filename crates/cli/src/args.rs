@@ -31,9 +31,7 @@ impl Flags {
             if bool_flags.contains(&name) {
                 flags.switches.push(name.to_string());
             } else if value_flags.contains(&name) {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("--{name} requires a value"))?;
+                let value = it.next().ok_or_else(|| format!("--{name} requires a value"))?;
                 flags.values.insert(name.to_string(), value.clone());
             } else {
                 return Err(format!("unknown flag --{name}"));
@@ -71,11 +69,7 @@ impl Flags {
             None => Ok(None),
             Some(v) => v
                 .split(',')
-                .map(|p| {
-                    p.trim()
-                        .parse()
-                        .map_err(|_| format!("invalid index in --{name}: {p:?}"))
-                })
+                .map(|p| p.trim().parse().map_err(|_| format!("invalid index in --{name}: {p:?}")))
                 .collect::<Result<Vec<usize>, String>>()
                 .map(Some),
         }

@@ -16,12 +16,9 @@ the per-round VO, whether the program was delivered, and the
 reliability-learning summary.";
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(
-        argv,
-        &["rounds", "gsps", "tasks", "seed", "mechanism", "flaky-every"],
-        &[],
-    )
-    .map_err(|e| if e == "help" { HELP.to_string() } else { e })?;
+    let flags =
+        Flags::parse(argv, &["rounds", "gsps", "tasks", "seed", "mechanism", "flaky-every"], &[])
+            .map_err(|e| if e == "help" { HELP.to_string() } else { e })?;
     let rounds: usize = flags.num("rounds", 12)?;
     let gsps: usize = flags.num("gsps", 16)?;
     let tasks: usize = flags.num("tasks", 64)?;

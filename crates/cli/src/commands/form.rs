@@ -28,16 +28,19 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let outcome = mech.run(&scenario, &mut rng).map_err(|e| e.to_string())?;
 
-    println!("iter  |VO|  feasible     payoff   avg rep  evicted");
+    println!("iter  |VO|  feasible     payoff   avg rep  evicted     nodes  incumbent  pow-it");
     for it in &outcome.iterations {
         println!(
-            "{:>4}  {:>4}  {:>8}  {:>9}  {:>8.4}  {}",
+            "{:>4}  {:>4}  {:>8}  {:>9}  {:>8.4}  {:>7}  {:>8}  {:>9}  {:>6}",
             it.iteration,
             it.members.len(),
             it.feasible,
             it.payoff_share.map_or("-".to_string(), |p| format!("{p:.1}")),
             it.avg_reputation,
             it.evicted.map_or("-".to_string(), |g| g.to_string()),
+            it.nodes,
+            it.incumbent_source.as_deref().unwrap_or("-"),
+            it.power_iterations,
         );
     }
     match &outcome.selected {
@@ -58,8 +61,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 
     if flags.has("audit") {
         if let Some(vo) = &outcome.selected {
-            let verdict = stability::audit_individual_stability(&scenario, vo)
-                .map_err(|e| e.to_string())?;
+            let verdict =
+                stability::audit_individual_stability(&scenario, vo).map_err(|e| e.to_string())?;
             println!("Theorem 1 (individual stability): {verdict:?}");
         }
         if let Some(ok) = stability::audit_pareto_optimality(&outcome) {

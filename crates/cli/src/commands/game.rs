@@ -19,14 +19,17 @@ merge-and-split partition (the authors' earlier mechanism). Exponential
 in the GSP count — use federations of ≤ 12 GSPs.";
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv, &["scenario"], &[])
-        .map_err(|e| if e == "help" { HELP.to_string() } else { e })?;
+    let flags = Flags::parse(argv, &["scenario"], &[]).map_err(|e| {
+        if e == "help" {
+            HELP.to_string()
+        } else {
+            e
+        }
+    })?;
     let scenario = load_scenario(flags.require("scenario")?)?;
     let m = scenario.gsp_count();
     if m > 12 {
-        return Err(format!(
-            "game analysis is exponential; {m} GSPs exceeds the 12-GSP cap"
-        ));
+        return Err(format!("game analysis is exponential; {m} GSPs exceeds the 12-GSP cap"));
     }
     let game = vo_game(&scenario, BranchBound::default());
     let grand = game.grand();

@@ -27,23 +27,25 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 }
 
 fn scenario(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv, &["out", "tasks", "gsps", "seed"], &[])
-        .map_err(|e| if e == "help" { HELP.to_string() } else { e })?;
+    let flags = Flags::parse(argv, &["out", "tasks", "gsps", "seed"], &[]).map_err(|e| {
+        if e == "help" {
+            HELP.to_string()
+        } else {
+            e
+        }
+    })?;
     let out = flags.require("out")?;
     let tasks: usize = flags.num("tasks", 128)?;
     let gsps: usize = flags.num("gsps", 16)?;
     let seed: u64 = flags.num("seed", 1)?;
     if tasks < gsps {
-        return Err(format!(
-            "--tasks {tasks} must be at least --gsps {gsps} (constraint (13))"
-        ));
+        return Err(format!("--tasks {tasks} must be at least --gsps {gsps} (constraint (13))"));
     }
     let cfg = TableI { gsps, task_sizes: vec![tasks], ..TableI::default() };
     let generator = ScenarioGenerator::new(cfg);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let scenario = generator
-        .scenario(tasks, &mut rng)
-        .map_err(|e| format!("generation failed: {e}"))?;
+    let scenario =
+        generator.scenario(tasks, &mut rng).map_err(|e| format!("generation failed: {e}"))?;
     println!(
         "scenario: {} tasks on {} GSPs, deadline {:.0} s, payment {:.0}",
         scenario.task_count(),
@@ -55,8 +57,13 @@ fn scenario(argv: &[String]) -> Result<(), String> {
 }
 
 fn trace(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv, &["out", "jobs", "seed"], &[])
-        .map_err(|e| if e == "help" { HELP.to_string() } else { e })?;
+    let flags = Flags::parse(argv, &["out", "jobs", "seed"], &[]).map_err(|e| {
+        if e == "help" {
+            HELP.to_string()
+        } else {
+            e
+        }
+    })?;
     let out = flags.require("out")?;
     let jobs: usize = flags.num("jobs", 10_000)?;
     let seed: u64 = flags.num("seed", 1)?;

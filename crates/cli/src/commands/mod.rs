@@ -11,8 +11,8 @@ use gridvo_core::FormationScenario;
 
 /// Load a scenario JSON file.
 pub(crate) fn load_scenario(path: &str) -> Result<FormationScenario, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read scenario {path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read scenario {path}: {e}"))?;
     serde_json::from_str(&text).map_err(|e| format!("invalid scenario JSON in {path}: {e}"))
 }
 

@@ -14,12 +14,15 @@ Solves the task-assignment IP for the given VO (default: all GSPs),
 printing the status, optimal cost, per-GSP loads and task counts.";
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv, &["scenario", "members", "solver"], &[])
-        .map_err(|e| if e == "help" { HELP.to_string() } else { e })?;
+    let flags = Flags::parse(argv, &["scenario", "members", "solver"], &[]).map_err(|e| {
+        if e == "help" {
+            HELP.to_string()
+        } else {
+            e
+        }
+    })?;
     let scenario = load_scenario(flags.require("scenario")?)?;
-    let members = flags
-        .list("members")?
-        .unwrap_or_else(|| (0..scenario.gsp_count()).collect());
+    let members = flags.list("members")?.unwrap_or_else(|| (0..scenario.gsp_count()).collect());
     for &m in &members {
         if m >= scenario.gsp_count() {
             return Err(format!("GSP {m} out of range (m = {})", scenario.gsp_count()));
@@ -33,11 +36,19 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let solved = match solver_name {
         "exact" => match BranchBound::default().solve_status(&inst) {
             SolveStatus::Optimal(o) => {
-                println!("status: OPTIMAL (proven, {} nodes)", o.nodes);
+                println!(
+                    "status: OPTIMAL (proven, {} nodes, incumbent: {})",
+                    o.nodes,
+                    o.incumbent_source.as_str()
+                );
                 Some((o.assignment, o.cost))
             }
             SolveStatus::Feasible(o) => {
-                println!("status: FEASIBLE (budget-truncated, {} nodes)", o.nodes);
+                println!(
+                    "status: FEASIBLE (budget-truncated, {} nodes, incumbent: {})",
+                    o.nodes,
+                    o.incumbent_source.as_str()
+                );
                 Some((o.assignment, o.cost))
             }
             SolveStatus::Infeasible { nodes } => {
@@ -50,7 +61,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             }
         },
         "parallel" => ParallelBranchBound::default().solve(&inst).map(|o| {
-            println!("status: {} ({} nodes)", if o.optimal { "OPTIMAL" } else { "FEASIBLE" }, o.nodes);
+            println!(
+                "status: {} ({} nodes, incumbent: {})",
+                if o.optimal { "OPTIMAL" } else { "FEASIBLE" },
+                o.nodes,
+                o.incumbent_source.as_str()
+            );
             (o.assignment, o.cost)
         }),
         name => {

@@ -12,22 +12,22 @@ from the Parallel Workloads Archive, or `gridvo generate trace` output)
 and prints the marginals the paper's workload extraction relies on.";
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv, &["swf"], &[])
-        .map_err(|e| if e == "help" { HELP.to_string() } else { e })?;
+    let flags = Flags::parse(argv, &["swf"], &[]).map_err(|e| {
+        if e == "help" {
+            HELP.to_string()
+        } else {
+            e
+        }
+    })?;
     let path = flags.require("swf")?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let trace = SwfTrace::parse(&text).map_err(|e| e.to_string())?;
     let Some(s) = trace_stats(&trace) else {
         println!("empty trace");
         return Ok(());
     };
     println!("jobs:            {}", s.jobs);
-    println!(
-        "completed:       {} ({:.1} %)",
-        s.completed,
-        100.0 * s.completion_rate
-    );
+    println!("completed:       {} ({:.1} %)", s.completed, 100.0 * s.completion_rate);
     println!(
         "large (≥7200 s): {} ({:.1} % of completed)",
         s.large_completed,

@@ -131,17 +131,9 @@ fn rvof_mechanism_selectable() {
 
 #[test]
 fn dynamic_subcommand_runs() {
-    let out = run_ok(gridvo().args([
-        "dynamic",
-        "--rounds",
-        "4",
-        "--gsps",
-        "4",
-        "--tasks",
-        "12",
-        "--seed",
-        "1",
-    ]));
+    let out = run_ok(
+        gridvo().args(["dynamic", "--rounds", "4", "--gsps", "4", "--tasks", "12", "--seed", "1"]),
+    );
     assert!(out.contains("mean member reliability"));
     assert!(out.contains("round"));
 }

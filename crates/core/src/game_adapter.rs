@@ -51,8 +51,7 @@ mod tests {
                 cost.push(1.0 + ((t + g) % 3) as f64);
             }
         }
-        let inst =
-            AssignmentInstance::new(n, 3, cost, vec![1.0; n * 3], 10.0, 50.0).unwrap();
+        let inst = AssignmentInstance::new(n, 3, cost, vec![1.0; n * 3], 10.0, 50.0).unwrap();
         FormationScenario::new(gsps, TrustGraph::new(3), inst).unwrap()
     }
 

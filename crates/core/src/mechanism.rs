@@ -15,12 +15,22 @@ use crate::reputation::ReputationEngine;
 use crate::scenario::FormationScenario;
 use crate::vo::{FormationOutcome, IterationRecord, VoRecord};
 use crate::Result;
-use gridvo_solver::branch_bound::BranchBound;
+use gridvo_solver::branch_bound::{BranchBound, SolveStatus};
 use gridvo_solver::heuristics::{self, Heuristic};
 use gridvo_solver::parallel::ParallelBranchBound;
-use gridvo_solver::AssignmentInstance;
+use gridvo_solver::{repair, AssignmentInstance};
 use rand::Rng;
 use std::time::Instant;
+
+/// What one round's IP solve produced, plus telemetry.
+struct VoSolveReport {
+    /// `(assignment, cost, proven_optimal)` when feasible.
+    solved: Option<(gridvo_solver::Assignment, f64, bool)>,
+    /// Search-tree nodes expanded (0 for heuristics).
+    nodes: u64,
+    /// Final-incumbent provenance (exact solvers only).
+    incumbent_source: Option<&'static str>,
+}
 
 /// Which member leaves the VO at each iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,8 +47,7 @@ pub enum EvictionPolicy {
 }
 
 /// How the final VO is chosen from the feasible list `L`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SelectionRule {
     /// Highest per-member payoff share (the paper's rule, Alg. 1 l.14).
     #[default]
@@ -67,7 +76,7 @@ impl Default for SolverChoice {
 }
 
 /// Full mechanism configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FormationConfig {
     /// IP solver.
     pub solver: SolverChoice,
@@ -75,8 +84,27 @@ pub struct FormationConfig {
     pub reputation: ReputationEngine,
     /// Final-selection rule.
     pub selection: SelectionRule,
+    /// Incremental engine: carry each round's optimal assignment
+    /// (repaired after eviction) into the next round's exact solve as a
+    /// warm incumbent, and warm-start the power method from the
+    /// previous round's reputation vector. Exactness is unaffected —
+    /// warm starts only tighten the incumbent of an exact search and
+    /// shift the power iteration's starting point, not its fixed point
+    /// — so this is on by default; disable it to measure the cold
+    /// baseline (the fig9/`BENCH_formation.json` comparison does).
+    pub warm_start: bool,
 }
 
+impl Default for FormationConfig {
+    fn default() -> Self {
+        FormationConfig {
+            solver: SolverChoice::default(),
+            reputation: ReputationEngine::default(),
+            selection: SelectionRule::default(),
+            warm_start: true,
+        }
+    }
+}
 
 /// A configured formation mechanism.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -118,16 +146,44 @@ impl Mechanism {
         let mut iterations = Vec::new();
         let mut feasible_vos: Vec<VoRecord> = Vec::new();
 
+        // Incremental-engine state: round k + 1 reuses round k's work.
+        // `carry` is (previous members, previous optimal assignment,
+        // the member evicted between the rounds); `prev_reputation` is
+        // the previous round's score vector for power-method warm
+        // starts. Both only feed *starting points* — an exact search's
+        // result and the power method's fixed point are start-
+        // independent, so the trace matches a cold run (see
+        // tests/differential_warm_cold.rs).
+        let mut carry: Option<(Vec<usize>, gridvo_solver::Assignment, usize)> = None;
+        let mut prev_reputation: Option<crate::reputation::VoReputation> = None;
+
         let mut iteration = 0;
         while !members.is_empty() {
             let solve_started = Instant::now();
-            let solved = self.solve_vo(scenario, &members);
+            let warm_seed = match (&carry, self.config.warm_start) {
+                (Some((prev_members, prev_assignment, evicted)), true) => prev_members
+                    .iter()
+                    .position(|m| m == evicted)
+                    .map(|local| (prev_assignment, local)),
+                _ => None,
+            };
+            let report = self.solve_vo(scenario, &members, warm_seed);
             let solve_seconds = solve_started.elapsed().as_secs_f64();
 
-            let reputation = self.config.reputation.compute(scenario.trust(), &members)?;
+            let rep_start: Option<Vec<f64>> = match (&prev_reputation, self.config.warm_start) {
+                (Some(prev), true) => {
+                    Some(members.iter().map(|&m| prev.score_of(m).unwrap_or(0.0)).collect())
+                }
+                _ => None,
+            };
+            let reputation = self.config.reputation.compute_with_start(
+                scenario.trust(),
+                &members,
+                rep_start.as_deref(),
+            )?;
 
-            let feasible = solved.is_some();
-            let (cost, payoff_share) = match &solved {
+            let feasible = report.solved.is_some();
+            let (cost, payoff_share) = match &report.solved {
                 Some((_, cost, _)) => {
                     let value = (scenario.payment() - cost).max(0.0);
                     (Some(*cost), Some(value / members.len() as f64))
@@ -135,8 +191,16 @@ impl Mechanism {
                 None => (None, None),
             };
 
-            if let Some((assignment, cost, optimal)) = solved {
+            // Algorithm 1 exits at the first infeasible VO.
+            let evicted = if feasible && members.len() > 1 {
+                Some(self.pick_eviction(scenario, &members, &reputation, rng))
+            } else {
+                None
+            };
+
+            if let Some((assignment, cost, optimal)) = report.solved {
                 let value = (scenario.payment() - cost).max(0.0);
+                carry = evicted.map(|g| (members.clone(), assignment.clone(), g));
                 feasible_vos.push(VoRecord {
                     members: members.clone(),
                     assignment,
@@ -148,13 +212,6 @@ impl Mechanism {
                 });
             }
 
-            // Algorithm 1 exits at the first infeasible VO.
-            let evicted = if feasible && members.len() > 1 {
-                Some(self.pick_eviction(scenario, &members, &reputation, rng))
-            } else {
-                None
-            };
-
             iterations.push(IterationRecord {
                 iteration,
                 members: members.clone(),
@@ -165,7 +222,11 @@ impl Mechanism {
                 reputation_scores: reputation.scores.clone(),
                 evicted,
                 solve_seconds,
+                nodes: report.nodes,
+                incumbent_source: report.incumbent_source.map(str::to_string),
+                power_iterations: reputation.iterations,
             });
+            prev_reputation = Some(reputation);
 
             match evicted {
                 Some(g) => members.retain(|&m| m != g),
@@ -183,25 +244,46 @@ impl Mechanism {
         })
     }
 
-    /// Solve the IP for a candidate VO. Returns
-    /// `(assignment, cost, proven_optimal)` when feasible.
+    /// Solve the IP for a candidate VO, optionally warm-started with
+    /// the previous round's assignment (`carry` = that assignment plus
+    /// the evicted member's local index within the previous VO).
     fn solve_vo(
         &self,
         scenario: &FormationScenario,
         members: &[usize],
-    ) -> Option<(gridvo_solver::Assignment, f64, bool)> {
-        let inst: AssignmentInstance = scenario.instance_for(members)?;
+        carry: Option<(&gridvo_solver::Assignment, usize)>,
+    ) -> VoSolveReport {
+        let Some(inst): Option<AssignmentInstance> = scenario.instance_for(members) else {
+            return VoSolveReport { solved: None, nodes: 0, incumbent_source: None };
+        };
+        let warm =
+            carry.and_then(|(prev, evicted)| repair::repair_after_eviction(prev, evicted, &inst));
+        let from_status = |status: SolveStatus| -> VoSolveReport {
+            match status {
+                SolveStatus::Optimal(o) | SolveStatus::Feasible(o) => VoSolveReport {
+                    nodes: o.nodes,
+                    incumbent_source: Some(o.incumbent_source.as_str()),
+                    solved: Some((o.assignment, o.cost, o.optimal)),
+                },
+                SolveStatus::Infeasible { nodes } | SolveStatus::Unknown { nodes } => {
+                    VoSolveReport { solved: None, nodes, incumbent_source: None }
+                }
+            }
+        };
         match self.config.solver {
             SolverChoice::Exact(bb) => {
-                bb.solve(&inst).map(|o| (o.assignment, o.cost, o.optimal))
+                from_status(bb.solve_status_with_incumbent(&inst, warm.as_ref()))
             }
             SolverChoice::ExactParallel(pbb) => {
-                pbb.solve(&inst).map(|o| (o.assignment, o.cost, o.optimal))
+                from_status(pbb.solve_status_with_incumbent(&inst, warm.as_ref()))
             }
-            SolverChoice::Heuristic(kind) => heuristics::run(kind, &inst).map(|a| {
-                let cost = a.total_cost(&inst);
-                (a, cost, false)
-            }),
+            SolverChoice::Heuristic(kind) => {
+                let solved = heuristics::run(kind, &inst).map(|a| {
+                    let cost = a.total_cost(&inst);
+                    (a, cost, false)
+                });
+                VoSolveReport { solved, nodes: 0, incumbent_source: None }
+            }
         }
     }
 
@@ -392,11 +474,8 @@ mod tests {
         let mut rng = TestRng::seed_from_u64(6);
         let out = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
         // MaxReputation must pick a VO whose avg reputation is maximal in L
-        let max_rep = out
-            .feasible_vos
-            .iter()
-            .map(|v| v.avg_reputation)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max_rep =
+            out.feasible_vos.iter().map(|v| v.avg_reputation).fold(f64::NEG_INFINITY, f64::max);
         let mech = Mechanism::tvof(FormationConfig {
             selection: SelectionRule::MaxReputation,
             ..Default::default()
@@ -409,15 +488,9 @@ mod tests {
     fn infeasible_scenario_selects_nothing() {
         // Payment far below any assignment cost.
         let gsps = vec![Gsp::new(0, 10.0), Gsp::new(1, 10.0)];
-        let inst = gridvo_solver::AssignmentInstance::new(
-            2,
-            2,
-            vec![50.0; 4],
-            vec![1.0; 4],
-            10.0,
-            5.0,
-        )
-        .unwrap();
+        let inst =
+            gridvo_solver::AssignmentInstance::new(2, 2, vec![50.0; 4], vec![1.0; 4], 10.0, 5.0)
+                .unwrap();
         let s = FormationScenario::new(gsps, TrustGraph::new(2), inst).unwrap();
         let mut rng = TestRng::seed_from_u64(7);
         let out = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();

@@ -44,9 +44,7 @@ pub fn pareto_front(vos: &[VoRecord]) -> Vec<usize> {
 /// Theorem 2 for a selected VO.
 pub fn is_pareto_optimal(vos: &[VoRecord], index: usize) -> bool {
     let target = ObjectivePoint::from(&vos[index]);
-    !vos.iter()
-        .enumerate()
-        .any(|(j, v)| j != index && dominates(ObjectivePoint::from(v), target))
+    !vos.iter().enumerate().any(|(j, v)| j != index && dominates(ObjectivePoint::from(v), target))
 }
 
 #[cfg(test)]

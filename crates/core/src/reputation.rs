@@ -61,12 +61,18 @@ impl ReputationEngine {
 
     /// PageRank-style damped engine.
     pub fn pagerank(alpha: f64) -> Self {
-        ReputationEngine { kind: EngineKind::Power(PowerMethod::damped(alpha)), ..Default::default() }
+        ReputationEngine {
+            kind: EngineKind::Power(PowerMethod::damped(alpha)),
+            ..Default::default()
+        }
     }
 
     /// Path-propagation engine.
     pub fn propagation(max_hops: usize, combine: PathCombine) -> Self {
-        ReputationEngine { kind: EngineKind::PathPropagation { max_hops, combine }, ..Default::default() }
+        ReputationEngine {
+            kind: EngineKind::PathPropagation { max_hops, combine },
+            ..Default::default()
+        }
     }
 
     /// In-degree engine.
@@ -94,15 +100,24 @@ pub struct VoReputation {
     pub iterations: usize,
 }
 
+/// Tolerance under which two reputation scores count as tied in
+/// [`VoReputation::lowest_members`]. The power method stops at an L1
+/// residual of ~1e-10, so two runs of the same subgraph from different
+/// starting vectors (cold uniform vs warm-started) agree to ~1e-10 but
+/// not bitwise; a 1e-8 tie band makes the eviction choice — and hence
+/// the whole formation trace — independent of the starting vector.
+pub const SCORE_TIE_EPS: f64 = 1e-8;
+
 impl VoReputation {
-    /// Global ids of the members attaining the minimum score (TVOF
-    /// breaks ties among these uniformly at random).
+    /// Global ids of the members attaining the minimum score, up to
+    /// [`SCORE_TIE_EPS`] (TVOF breaks ties among these uniformly at
+    /// random).
     pub fn lowest_members(&self) -> Vec<usize> {
         let min = self.scores.iter().cloned().fold(f64::INFINITY, f64::min);
         self.members
             .iter()
             .zip(self.scores.iter())
-            .filter(|(_, &s)| s <= min)
+            .filter(|(_, &s)| s <= min + SCORE_TIE_EPS)
             .map(|(&m, _)| m)
             .collect()
     }
@@ -119,10 +134,33 @@ impl ReputationEngine {
     /// ids. All engines return an L1-normalized (probability) score
     /// vector so eviction decisions are engine-comparable.
     pub fn compute(&self, trust: &TrustGraph, members: &[usize]) -> Result<VoReputation> {
+        self.compute_with_start(trust, members, None)
+    }
+
+    /// [`ReputationEngine::compute`] with an optional warm start.
+    ///
+    /// `start` is aligned with `members` — typically the previous
+    /// eviction round's scores restricted to the survivors (the power
+    /// method renormalizes it onto the probability simplex itself).
+    /// The fixed point is start-independent, so warm and cold runs
+    /// agree to the power method's ε; only `iterations` shrinks. A
+    /// degenerate start (wrong length, zero mass, negative or
+    /// non-finite entries) falls back to the cold uniform start, and
+    /// the non-iterative engines ignore `start` entirely.
+    pub fn compute_with_start(
+        &self,
+        trust: &TrustGraph,
+        members: &[usize],
+        start: Option<&[f64]>,
+    ) -> Result<VoReputation> {
         let sub = trust.restrict(members)?;
         let (mut scores, iterations) = match self.kind {
             EngineKind::Power(power) => {
-                let report = power.run_on_graph(&sub, self.dangling)?;
+                let a = gridvo_trust::normalize::row_normalize(&sub, self.dangling);
+                let report = match start {
+                    Some(s) => power.run_with_start(&a, s)?,
+                    None => power.run(&a)?,
+                };
                 (report.scores, report.iterations)
             }
             EngineKind::PathPropagation { max_hops, combine } => {
@@ -135,8 +173,7 @@ impl ReputationEngine {
                 (propagation_scores(&unit, max_hops, combine)?, 1)
             }
             EngineKind::InDegree => {
-                let scores: Vec<f64> =
-                    (0..sub.node_count()).map(|j| sub.in_trust_sum(j)).collect();
+                let scores: Vec<f64> = (0..sub.node_count()).map(|j| sub.in_trust_sum(j)).collect();
                 (scores, 1)
             }
         };

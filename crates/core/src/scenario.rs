@@ -43,11 +43,7 @@ impl TryFrom<RawScenario> for FormationScenario {
 impl FormationScenario {
     /// Build and cross-validate a scenario. The trust graph and the
     /// instance's GSP dimension must both match `gsps.len()`.
-    pub fn new(
-        gsps: Vec<Gsp>,
-        trust: TrustGraph,
-        instance: AssignmentInstance,
-    ) -> Result<Self> {
+    pub fn new(gsps: Vec<Gsp>, trust: TrustGraph, instance: AssignmentInstance) -> Result<Self> {
         let m = gsps.len();
         if trust.node_count() != m {
             return Err(CoreError::ShapeMismatch { context: "trust graph vs GSP count" });
@@ -146,8 +142,7 @@ mod tests {
                 cost.push((t * 3 + g) as f64 + 1.0);
             }
         }
-        let inst =
-            AssignmentInstance::new(4, 3, cost, vec![1.0; 12], 100.0, 100.0).unwrap();
+        let inst = AssignmentInstance::new(4, 3, cost, vec![1.0; 12], 100.0, 100.0).unwrap();
         let s = FormationScenario::new(gsps, TrustGraph::new(3), inst).unwrap();
         let sub = s.instance_for(&[0, 2]).unwrap();
         assert_eq!(sub.gsps(), 2);

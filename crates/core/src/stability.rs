@@ -63,8 +63,7 @@ pub fn audit_individual_stability(
         return Ok(StabilityAudit::Stable);
     }
     for &leaver in &vo.members {
-        let reduced: Vec<usize> =
-            vo.members.iter().copied().filter(|&m| m != leaver).collect();
+        let reduced: Vec<usize> = vo.members.iter().copied().filter(|&m| m != leaver).collect();
         let reduced_rep = engine.compute(scenario.trust(), &reduced)?.average;
         let reduced_payoff = scenario
             .instance_for(&reduced)
@@ -102,10 +101,7 @@ pub fn audit_individual_stability(
 /// nothing was selected.
 pub fn audit_pareto_optimality(outcome: &FormationOutcome) -> Option<bool> {
     let selected = outcome.selected.as_ref()?;
-    let index = outcome
-        .feasible_vos
-        .iter()
-        .position(|v| v.members == selected.members)?;
+    let index = outcome.feasible_vos.iter().position(|v| v.members == selected.members)?;
     Some(pareto::is_pareto_optimal(&outcome.feasible_vos, index))
 }
 
@@ -199,10 +195,7 @@ mod tests {
         let outcome = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
         for vo in &outcome.feasible_vos {
             if vo.payoff_share > 1e-6 {
-                assert_eq!(
-                    audit_individual_stability(&s, vo).unwrap(),
-                    StabilityAudit::Stable
-                );
+                assert_eq!(audit_individual_stability(&s, vo).unwrap(), StabilityAudit::Stable);
             }
         }
     }

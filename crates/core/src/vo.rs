@@ -61,6 +61,18 @@ pub struct IterationRecord {
     pub evicted: Option<usize>,
     /// Wall-clock seconds spent solving the IP this iteration.
     pub solve_seconds: f64,
+    /// Branch-and-bound nodes expanded this iteration (0 for heuristic
+    /// solvers and for pre-search infeasibility proofs).
+    pub nodes: u64,
+    /// Where the solver's final incumbent came from: `"heuristic"`,
+    /// `"warm"` (the repaired previous-round optimum survived the
+    /// search) or `"search"`. `None` when the round was infeasible or
+    /// solved by a heuristic-only solver.
+    pub incumbent_source: Option<String>,
+    /// Power-method iterations the reputation engine used this round
+    /// (1 for the non-iterative engines). Warm starts show up here as
+    /// a sharp drop after round 0.
+    pub power_iterations: usize,
 }
 
 /// Complete result of a formation run.
@@ -125,10 +137,7 @@ mod tests {
     fn outcome_selectors() {
         let outcome = FormationOutcome {
             iterations: vec![],
-            feasible_vos: vec![
-                vo(vec![0, 1, 2], 3.0, 0.9),
-                vo(vec![0, 1], 5.0, 0.3),
-            ],
+            feasible_vos: vec![vo(vec![0, 1, 2], 3.0, 0.9), vo(vec![0, 1], 5.0, 0.3)],
             selected: None,
             total_seconds: 0.0,
         };

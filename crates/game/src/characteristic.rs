@@ -87,8 +87,7 @@ impl TableGame {
         if players > 20 {
             return Err(GameError::TooManyPlayers { players, cap: 20 });
         }
-        let values =
-            (0..1u64 << players).map(|bits| f(Coalition::from_bits(bits))).collect();
+        let values = (0..1u64 << players).map(|bits| f(Coalition::from_bits(bits))).collect();
         Ok(TableGame { players, values })
     }
 
@@ -205,10 +204,7 @@ mod tests {
             TableGame::new(2, vec![0.0; 3]),
             Err(GameError::BadVectorLength { got: 3, expected: 4 })
         ));
-        assert!(matches!(
-            TableGame::new(30, vec![]),
-            Err(GameError::TooManyPlayers { .. })
-        ));
+        assert!(matches!(TableGame::new(30, vec![]), Err(GameError::TooManyPlayers { .. })));
     }
 
     #[test]

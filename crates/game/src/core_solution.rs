@@ -119,12 +119,7 @@ pub fn least_core<G: CharacteristicFn + ?Sized>(game: &G, tol: f64) -> Result<Le
     let mut active: Vec<Coalition> = (0..n).map(Coalition::singleton).collect();
     if n == 1 {
         // single player: x_0 = v(G); no proper coalitions, ε* = 0
-        return Ok(LeastCore {
-            epsilon: 0.0,
-            payoff: vec![vg],
-            active: Vec::new(),
-            rounds: 0,
-        });
+        return Ok(LeastCore { epsilon: 0.0, payoff: vec![vg], active: Vec::new(), rounds: 0 });
     }
 
     let mut rounds = 0;
@@ -248,11 +243,7 @@ mod tests {
 
     #[test]
     fn least_core_payoff_is_efficient() {
-        let g = TableGame::new(
-            3,
-            vec![0.0, 1.0, 2.0, 4.0, 3.0, 5.0, 6.0, 10.0],
-        )
-        .unwrap();
+        let g = TableGame::new(3, vec![0.0, 1.0, 2.0, 4.0, 3.0, 5.0, 6.0, 10.0]).unwrap();
         let lc = least_core(&g, 1e-7).unwrap();
         assert!((lc.payoff.iter().sum::<f64>() - 10.0).abs() < 1e-6);
     }

@@ -192,22 +192,14 @@ mod tests {
 
     #[test]
     fn shapley_is_efficient() {
-        let g = TableGame::new(
-            3,
-            vec![0.0, 1.0, 2.0, 4.0, 3.0, 5.0, 6.0, 10.0],
-        )
-        .unwrap();
+        let g = TableGame::new(3, vec![0.0, 1.0, 2.0, 4.0, 3.0, 5.0, 6.0, 10.0]).unwrap();
         let phi = shapley_exact(&g).unwrap();
         assert!((phi.iter().sum::<f64>() - 10.0).abs() < 1e-12);
     }
 
     #[test]
     fn monte_carlo_approaches_exact() {
-        let g = TableGame::new(
-            3,
-            vec![0.0, 1.0, 2.0, 4.0, 3.0, 5.0, 6.0, 10.0],
-        )
-        .unwrap();
+        let g = TableGame::new(3, vec![0.0, 1.0, 2.0, 4.0, 3.0, 5.0, 6.0, 10.0]).unwrap();
         let exact = shapley_exact(&g).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let mc = shapley_monte_carlo(&g, 20_000, &mut rng);

@@ -85,8 +85,7 @@ pub fn individual_stability<P: Preference>(pref: &P, coalition: Coalition) -> St
     }
     for i in coalition.members() {
         let reduced = coalition.without(i);
-        let everyone_fine =
-            coalition.members().all(|j| pref.at_least(j, reduced, coalition));
+        let everyone_fine = coalition.members().all(|j| pref.at_least(j, reduced, coalition));
         if everyone_fine {
             return StabilityVerdict::UnstableDeparture { player: i };
         }
@@ -97,11 +96,7 @@ pub fn individual_stability<P: Preference>(pref: &P, coalition: Coalition) -> St
 /// Nash stability (stronger): no player prefers joining any *other*
 /// coalition of the structure (or being alone) to staying put. Used in
 /// extended analyses; TVOF only claims individual stability.
-pub fn nash_stable<P: Preference>(
-    pref: &P,
-    structure: &[Coalition],
-    player_count: usize,
-) -> bool {
+pub fn nash_stable<P: Preference>(pref: &P, structure: &[Coalition], player_count: usize) -> bool {
     for i in 0..player_count {
         let Some(&home) = structure.iter().find(|c| c.contains(i)) else {
             continue;
@@ -178,13 +173,7 @@ mod tests {
         // 0 hurts 1 and 2, removing 1 or 2 hurts nobody... wait, a
         // size-neutral utility means removing 1 leaves everyone equal:
         // that IS an unstable departure under Definition 1.
-        let pref = UtilityPreference::new(|_, c: Coalition| {
-            if c.contains(0) {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let pref = UtilityPreference::new(|_, c: Coalition| if c.contains(0) { 1.0 } else { 0.0 });
         let c = Coalition::from_members([0, 1]);
         // removing 1: both weakly prefer (equal) ⇒ unstable departure of 1
         assert_eq!(

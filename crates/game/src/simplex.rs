@@ -92,7 +92,7 @@ struct Tableau {
     rows: Vec<Vec<f64>>,
     basis: Vec<usize>,
     n_struct: usize,
-    n_all: usize,   // including artificials
+    n_all: usize, // including artificials
     artificial_start: usize,
 }
 
@@ -308,8 +308,7 @@ impl Tableau {
             PivotResult::Unbounded => LpOutcome::Unbounded,
             PivotResult::Optimal => {
                 let x = self.extract();
-                let value: f64 =
-                    x.iter().zip(objective.iter()).map(|(a, b)| a * b).sum();
+                let value: f64 = x.iter().zip(objective.iter()).map(|(a, b)| a * b).sum();
                 LpOutcome::Optimal { x, value }
             }
         }

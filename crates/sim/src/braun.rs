@@ -40,11 +40,7 @@ pub fn braun_cost_matrix<R: Rng + ?Sized>(
 /// workload: for any two tasks with `w(T_j) > w(T_q)`,
 /// `c(T_j, G) > c(T_q, G)` on every GSP. Column value *sets* are
 /// preserved (only permuted), so the Braun marginals are intact.
-pub fn enforce_workload_monotonicity(
-    cost: &mut [f64],
-    workloads: &[f64],
-    gsps: usize,
-) {
+pub fn enforce_workload_monotonicity(cost: &mut [f64], workloads: &[f64], gsps: usize) {
     let tasks = workloads.len();
     debug_assert_eq!(cost.len(), tasks * gsps);
     // rank of each task by workload (0 = lightest)
@@ -88,7 +84,8 @@ pub fn is_consistent(time: &[f64], tasks: usize, gsps: usize) -> bool {
             let first = time[a].partial_cmp(&time[b]).expect("finite");
             for t in 1..tasks {
                 let cmp = time[t * gsps + a].partial_cmp(&time[t * gsps + b]).expect("finite");
-                if cmp != first && cmp != std::cmp::Ordering::Equal
+                if cmp != first
+                    && cmp != std::cmp::Ordering::Equal
                     && first != std::cmp::Ordering::Equal
                 {
                     return false;
@@ -152,9 +149,8 @@ mod tests {
         let gsps = 5;
         let workloads: Vec<f64> = (0..tasks).map(|_| rng.gen_range(10.0..1000.0)).collect();
         let mut cost = braun_cost_matrix(&mut rng, tasks, gsps, 100.0, 10.0);
-        let mut before_cols: Vec<Vec<f64>> = (0..gsps)
-            .map(|g| (0..tasks).map(|t| cost[t * gsps + g]).collect())
-            .collect();
+        let mut before_cols: Vec<Vec<f64>> =
+            (0..gsps).map(|g| (0..tasks).map(|t| cost[t * gsps + g]).collect()).collect();
         enforce_workload_monotonicity(&mut cost, &workloads, gsps);
         assert!(is_workload_monotone(&cost, &workloads, gsps));
         // column value multisets unchanged

@@ -129,19 +129,15 @@ pub fn simulate<R: Rng + ?Sized>(
         // Fresh economics each round (new program, new prices), the
         // evolving part is the trust graph.
         let base = generator.scenario(cfg.tasks, rng)?;
-        let scenario =
-            FormationScenario::new(base.gsps().to_vec(), trust, base.instance().clone())
-                .map_err(|e| SimError::Core(e.to_string()))?;
+        let scenario = FormationScenario::new(base.gsps().to_vec(), trust, base.instance().clone())
+            .map_err(|e| SimError::Core(e.to_string()))?;
 
         let outcome = mechanism.run(&scenario, rng)?;
         let record = match outcome.selected {
             Some(vo) => {
-                let mean_reliability = vo
-                    .members
-                    .iter()
-                    .map(|&g| cfg.reliabilities[g])
-                    .sum::<f64>()
-                    / vo.members.len() as f64;
+                let mean_reliability =
+                    vo.members.iter().map(|&g| cfg.reliabilities[g]).sum::<f64>()
+                        / vo.members.len() as f64;
                 // The program executes: members deliver or fail.
                 let mut failed = Vec::new();
                 for &g in &vo.members {
@@ -191,11 +187,8 @@ pub fn simulate<R: Rng + ?Sized>(
 /// Mean member reliability over a window of rounds (skipping rounds
 /// where no VO formed).
 pub fn mean_reliability(records: &[RoundRecord]) -> f64 {
-    let formed: Vec<f64> = records
-        .iter()
-        .filter(|r| !r.members.is_empty())
-        .map(|r| r.mean_reliability)
-        .collect();
+    let formed: Vec<f64> =
+        records.iter().filter(|r| !r.members.is_empty()).map(|r| r.mean_reliability).collect();
     if formed.is_empty() {
         0.0
     } else {
@@ -237,8 +230,7 @@ mod tests {
     fn records_one_per_round_and_ledger_grows() {
         let c = cfg(6);
         let mut rng = TestRng::seed_from_u64(1);
-        let records =
-            simulate(&c, Mechanism::tvof(FormationConfig::default()), &mut rng).unwrap();
+        let records = simulate(&c, Mechanism::tvof(FormationConfig::default()), &mut rng).unwrap();
         assert_eq!(records.len(), 6);
         for r in &records {
             assert!(r.mean_reliability <= 1.0);

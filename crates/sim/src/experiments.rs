@@ -95,16 +95,9 @@ pub fn task_sweep(cfg: &TableI, seeds: &[u64]) -> Result<Vec<SweepPoint>> {
     for (size_idx, &tasks) in cfg.task_sizes.iter().enumerate() {
         let results = run_seeds(0xF1965 + size_idx as u64, seeds, |_seed, rng| {
             let scenario = generator.scenario(tasks, rng)?;
-            let tvof = Mechanism::tvof(mech_cfg)
-                .run(&scenario, rng)
-                .map_err(SimError::from)?;
-            let rvof = Mechanism::rvof(mech_cfg)
-                .run(&scenario, rng)
-                .map_err(SimError::from)?;
-            Ok::<_, SimError>((
-                RunMetrics::from_outcome(&tvof),
-                RunMetrics::from_outcome(&rvof),
-            ))
+            let tvof = Mechanism::tvof(mech_cfg).run(&scenario, rng).map_err(SimError::from)?;
+            let rvof = Mechanism::rvof(mech_cfg).run(&scenario, rng).map_err(SimError::from)?;
+            Ok::<_, SimError>((RunMetrics::from_outcome(&tvof), RunMetrics::from_outcome(&rvof)))
         });
         let mut tv = Vec::new();
         let mut rv = Vec::new();
@@ -113,11 +106,7 @@ pub fn task_sweep(cfg: &TableI, seeds: &[u64]) -> Result<Vec<SweepPoint>> {
             tv.push(t);
             rv.push(v);
         }
-        let formed_runs = tv
-            .iter()
-            .zip(rv.iter())
-            .filter(|(a, b)| a.formed && b.formed)
-            .count();
+        let formed_runs = tv.iter().zip(rv.iter()).filter(|(a, b)| a.formed && b.formed).count();
         let agg = |xs: &[RunMetrics], f: fn(&RunMetrics) -> f64| {
             Aggregate::of(&xs.iter().filter(|m| m.formed).map(f).collect::<Vec<_>>())
         };
@@ -132,6 +121,76 @@ pub fn task_sweep(cfg: &TableI, seeds: &[u64]) -> Result<Vec<SweepPoint>> {
             tvof_seconds: Aggregate::of(&tv.iter().map(|m| m.seconds).collect::<Vec<_>>()),
             rvof_seconds: Aggregate::of(&rv.iter().map(|m| m.seconds).collect::<Vec<_>>()),
             formed_runs,
+        });
+    }
+    Ok(points)
+}
+
+/// One row of the incremental-engine benchmark: TVOF on the same
+/// scenarios with the warm-start machinery off vs on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmColdPoint {
+    /// Program size (#tasks).
+    pub tasks: usize,
+    /// Wall-clock seconds per run, cold (`warm_start: false`).
+    pub cold_seconds: Aggregate,
+    /// Wall-clock seconds per run, warm (incumbent carry-over plus
+    /// power-method warm starts).
+    pub warm_seconds: Aggregate,
+    /// Total branch-and-bound nodes expanded across all iterations and
+    /// seeds, cold.
+    pub cold_nodes: u64,
+    /// Same total, warm — never larger than `cold_nodes` for the
+    /// sequential solver (a warm incumbent only tightens the bound).
+    pub warm_nodes: u64,
+    /// `cold_seconds.mean / warm_seconds.mean`.
+    pub speedup: f64,
+}
+
+/// The `BENCH_formation.json` experiment: run TVOF cold and warm on the
+/// *same* scenarios with the *same* eviction-RNG streams (so the traces
+/// are identical — see `tests/differential_warm_cold.rs`) and compare
+/// wall-clock and node counts.
+pub fn warm_cold_sweep(cfg: &TableI, seeds: &[u64]) -> Result<Vec<WarmColdPoint>> {
+    let generator = ScenarioGenerator::new(cfg.clone());
+    let cold_cfg = FormationConfig { warm_start: false, ..paper_config(cfg) };
+    let warm_cfg = FormationConfig { warm_start: true, ..paper_config(cfg) };
+    let mut points = Vec::with_capacity(cfg.task_sizes.len());
+    for (size_idx, &tasks) in cfg.task_sizes.iter().enumerate() {
+        let results = run_seeds(0xF9C0 + size_idx as u64, seeds, |seed, rng| {
+            let scenario = generator.scenario(tasks, rng)?;
+            // Twin RNGs: eviction tie-breaks consume the same stream in
+            // both runs, so cold and warm walk the same trace.
+            let mut cold_rng = crate::runner::seeded_rng(0xF9C1, seed);
+            let mut warm_rng = crate::runner::seeded_rng(0xF9C1, seed);
+            let cold =
+                Mechanism::tvof(cold_cfg).run(&scenario, &mut cold_rng).map_err(SimError::from)?;
+            let warm =
+                Mechanism::tvof(warm_cfg).run(&scenario, &mut warm_rng).map_err(SimError::from)?;
+            let nodes = |o: &FormationOutcome| o.iterations.iter().map(|i| i.nodes).sum::<u64>();
+            Ok::<_, SimError>((cold.total_seconds, nodes(&cold), warm.total_seconds, nodes(&warm)))
+        });
+        let mut cold_s = Vec::new();
+        let mut warm_s = Vec::new();
+        let (mut cold_nodes, mut warm_nodes) = (0u64, 0u64);
+        for r in results {
+            let (cs, cn, ws, wn) = r?;
+            cold_s.push(cs);
+            warm_s.push(ws);
+            cold_nodes += cn;
+            warm_nodes += wn;
+        }
+        let cold_seconds = Aggregate::of(&cold_s);
+        let warm_seconds = Aggregate::of(&warm_s);
+        let speedup =
+            if warm_seconds.mean > 0.0 { cold_seconds.mean / warm_seconds.mean } else { 1.0 };
+        points.push(WarmColdPoint {
+            tasks,
+            cold_seconds,
+            warm_seconds,
+            cold_nodes,
+            warm_nodes,
+            speedup,
         });
     }
     Ok(points)
@@ -163,9 +222,7 @@ pub fn selection_comparison(
     let mech_cfg = paper_config(cfg);
     let results = run_seeds(0xF4, seeds, |seed, rng| {
         let scenario = generator.scenario(tasks, rng)?;
-        let outcome = Mechanism::tvof(mech_cfg)
-            .run(&scenario, rng)
-            .map_err(SimError::from)?;
+        let outcome = Mechanism::tvof(mech_cfg).run(&scenario, rng).map_err(SimError::from)?;
         let selected = outcome.selected.as_ref();
         let product = outcome.best_product_vo();
         Ok::<_, SimError>(SelectionComparison {
@@ -257,10 +314,7 @@ mod tests {
         let points = task_sweep(&cfg, &[1, 2, 3, 4, 5, 6]).unwrap();
         let tv: f64 = points.iter().map(|p| p.tvof_reputation.mean).sum();
         let rv: f64 = points.iter().map(|p| p.rvof_reputation.mean).sum();
-        assert!(
-            tv >= rv - 1e-9,
-            "TVOF mean reputation {tv} fell below RVOF {rv} across the sweep"
-        );
+        assert!(tv >= rv - 1e-9, "TVOF mean reputation {tv} fell below RVOF {rv} across the sweep");
     }
 
     #[test]
@@ -286,6 +340,24 @@ mod tests {
         // TVOF trace sizes strictly decrease
         for w in t.tvof.windows(2) {
             assert_eq!(w[1].members.len() + 1, w[0].members.len());
+        }
+    }
+
+    #[test]
+    fn warm_cold_sweep_warm_never_expands_more_nodes() {
+        let cfg = tiny_cfg();
+        let points = warm_cold_sweep(&cfg, &[1, 2, 3]).unwrap();
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(
+                p.warm_nodes <= p.cold_nodes,
+                "size {}: warm {} nodes vs cold {}",
+                p.tasks,
+                p.warm_nodes,
+                p.cold_nodes
+            );
+            assert!(p.cold_seconds.mean >= 0.0 && p.warm_seconds.mean >= 0.0);
+            assert!(p.speedup.is_finite() && p.speedup > 0.0);
         }
     }
 

@@ -69,9 +69,7 @@ impl ScenarioGenerator {
     /// Draw GSP speeds `gflops_per_proc × U[lo, hi]`.
     pub fn speeds<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
         let (lo, hi) = self.cfg.speed_multiplier_range;
-        (0..self.cfg.gsps)
-            .map(|_| self.cfg.gflops_per_proc * rng.gen_range(lo..=hi))
-            .collect()
+        (0..self.cfg.gsps).map(|_| self.cfg.gflops_per_proc * rng.gen_range(lo..=hi)).collect()
     }
 
     /// Build a full scenario for a program of `tasks` tasks,
@@ -96,8 +94,7 @@ impl ScenarioGenerator {
         let m = self.cfg.gsps;
         let speeds = self.speeds(rng);
         let time = braun::time_matrix(program.workloads(), &speeds);
-        let mut cost =
-            braun::braun_cost_matrix(rng, n, m, self.cfg.phi_b, self.cfg.phi_r);
+        let mut cost = braun::braun_cost_matrix(rng, n, m, self.cfg.phi_b, self.cfg.phi_r);
         braun::enforce_workload_monotonicity(&mut cost, program.workloads(), m);
 
         let (dlo, dhi) = self.cfg.deadline_factor_range;
@@ -134,8 +131,7 @@ impl ScenarioGenerator {
             if heuristics::seed_incumbent(&instance).is_none() {
                 continue;
             }
-            let gsps: Vec<Gsp> =
-                speeds.iter().enumerate().map(|(i, &s)| Gsp::new(i, s)).collect();
+            let gsps: Vec<Gsp> = speeds.iter().enumerate().map(|(i, &s)| Gsp::new(i, s)).collect();
             let (wlo, whi) = self.cfg.trust_weight_range;
             let trust = generators::erdos_renyi(rng, m, self.cfg.trust_p, wlo..whi);
             return FormationScenario::new(gsps, trust, instance)

@@ -11,11 +11,7 @@ pub fn fig1_csv(points: &[SweepPoint]) -> String {
     for p in points {
         out.push_str(&format!(
             "{},{:.6},{:.6},{:.6},{:.6}\n",
-            p.tasks,
-            p.tvof_payoff.mean,
-            p.tvof_payoff.std,
-            p.rvof_payoff.mean,
-            p.rvof_payoff.std
+            p.tasks, p.tvof_payoff.mean, p.tvof_payoff.std, p.rvof_payoff.mean, p.rvof_payoff.std
         ));
     }
     out
@@ -168,6 +164,9 @@ mod tests {
             reputation_scores: vec![0.5, 0.5],
             evicted: Some(1),
             solve_seconds: 0.01,
+            nodes: 17,
+            incumbent_source: Some("warm".to_string()),
+            power_iterations: 3,
         };
         let t = TracePair { tasks: 12, seed: 1, tvof: vec![it.clone()], rvof: vec![it] };
         let csv = trace_csv(&t);

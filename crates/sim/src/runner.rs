@@ -102,8 +102,7 @@ mod tests {
     #[test]
     fn run_seeds_preserves_order() {
         let seeds = [5u64, 1, 9, 3];
-        let out: Vec<Result<u64, ()>> =
-            run_seeds(0, &seeds, |seed, _rng| Ok(seed * 10));
+        let out: Vec<Result<u64, ()>> = run_seeds(0, &seeds, |seed, _rng| Ok(seed * 10));
         let values: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
         assert_eq!(values, vec![50, 10, 90, 30]);
     }
@@ -111,13 +110,18 @@ mod tests {
     #[test]
     fn run_seeds_propagates_errors() {
         let seeds = [1u64, 2];
-        let out: Vec<Result<u64, String>> = run_seeds(0, &seeds, |seed, _| {
-            if seed == 2 {
-                Err("boom".to_string())
-            } else {
-                Ok(seed)
-            }
-        });
+        let out: Vec<Result<u64, String>> =
+            run_seeds(
+                0,
+                &seeds,
+                |seed, _| {
+                    if seed == 2 {
+                        Err("boom".to_string())
+                    } else {
+                        Ok(seed)
+                    }
+                },
+            );
         assert!(out[0].is_ok());
         assert_eq!(out[1], Err("boom".to_string()));
     }

@@ -175,7 +175,7 @@ mod tests {
         .unwrap();
         let t = BoundTables::new(&i);
         assert_eq!(t.gsp_penalty[1], 2.0); // cheapest detour: task 0, 3−1
-        // the idle-GSP-aware bound beats the naive relaxation
+                                           // the idle-GSP-aware bound beats the naive relaxation
         let lb = t.cost_lower_bound(0, 0.0, &[0, 0]);
         assert_eq!(lb, 2.0 + 2.0); // min costs (1+1) + penalty 2
     }

@@ -48,18 +48,50 @@ impl Default for BranchBound {
     }
 }
 
+/// Where the final incumbent of a solve came from — telemetry for the
+/// incremental formation engine (warm starts across eviction rounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncumbentSource {
+    /// No incumbent was ever installed (unreachable in a feasible
+    /// outcome; the initial value before seeding).
+    None,
+    /// The heuristic-portfolio seed survived the whole search.
+    Heuristic,
+    /// A warm-start incumbent (e.g. the previous eviction round's
+    /// repaired optimum) survived the whole search.
+    Warm,
+    /// The tree search found a strictly better solution than any seed.
+    Search,
+}
+
+impl IncumbentSource {
+    /// Stable lowercase label for traces and JSON output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            IncumbentSource::None => "none",
+            IncumbentSource::Heuristic => "heuristic",
+            IncumbentSource::Warm => "warm",
+            IncumbentSource::Search => "search",
+        }
+    }
+}
+
 /// Result of a completed (or budget-truncated) solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveOutcome {
     /// The best feasible assignment found.
     pub assignment: Assignment,
-    /// Its total cost (the IP objective, eq. (9)).
+    /// Its total cost (the IP objective, eq. (9)), recomputed in
+    /// canonical task order so equal assignments report bit-identical
+    /// costs regardless of the search path that produced them.
     pub cost: f64,
     /// True when the search tree was exhausted, proving optimality.
     /// False when the node budget truncated the search.
     pub optimal: bool,
     /// Nodes expanded.
     pub nodes: u64,
+    /// Which seed (or the search itself) produced the final incumbent.
+    pub incumbent_source: IncumbentSource,
 }
 
 /// Detailed solve status, distinguishing proven infeasibility from a
@@ -98,6 +130,36 @@ impl BranchBound {
 
     /// Solve with full status reporting.
     pub fn solve_status(&self, inst: &AssignmentInstance) -> SolveStatus {
+        self.solve_status_with_incumbent(inst, None)
+    }
+
+    /// Like [`BranchBound::solve`], additionally seeding the search
+    /// with a caller-supplied warm incumbent (e.g. the previous
+    /// eviction round's repaired optimum). An infeasible or
+    /// wrong-shaped warm assignment is silently ignored, so callers can
+    /// pass whatever the repair produced without pre-validating.
+    pub fn solve_with_incumbent(
+        &self,
+        inst: &AssignmentInstance,
+        warm: Option<&Assignment>,
+    ) -> Option<SolveOutcome> {
+        match self.solve_status_with_incumbent(inst, warm) {
+            SolveStatus::Optimal(o) | SolveStatus::Feasible(o) => Some(o),
+            SolveStatus::Infeasible { .. } | SolveStatus::Unknown { .. } => None,
+        }
+    }
+
+    /// Full-status variant of [`BranchBound::solve_with_incumbent`].
+    ///
+    /// The warm incumbent only tightens the initial upper bound of an
+    /// exact search, so the returned *cost* is identical to a cold
+    /// solve; only the node count (and possibly which of several
+    /// cost-tied optimal assignments is returned) can differ.
+    pub fn solve_status_with_incumbent(
+        &self,
+        inst: &AssignmentInstance,
+        warm: Option<&Assignment>,
+    ) -> SolveStatus {
         // Root cut: the Hungarian participation bound (matching of
         // distinct representative tasks onto GSPs) dominates the
         // per-node bound. It can prove infeasibility against the
@@ -107,22 +169,41 @@ impl BranchBound {
         if root_bound > inst.payment() + COST_EPS {
             return SolveStatus::Infeasible { nodes: 0 };
         }
+        // Candidate incumbents: the warm start (validated against the
+        // full constraint set) and the heuristic portfolio. Install the
+        // cheaper of the two; the warm one wins only when strictly
+        // better, so a tie keeps the cold-run labeling.
+        let warm_seed =
+            warm.filter(|a| a.is_feasible(inst)).map(|a| (a.clone(), a.total_cost(inst)));
+        let heur_seed = if self.seed_incumbent {
+            heuristics::seed_incumbent(inst).map(|a| {
+                let cost = a.total_cost(inst);
+                (a, cost)
+            })
+        } else {
+            None
+        };
+        let seed = match (warm_seed, heur_seed) {
+            (Some((wa, wc)), Some((_, hc))) if wc < hc => Some((wa, wc, IncumbentSource::Warm)),
+            (Some(_), Some((ha, hc))) => Some((ha, hc, IncumbentSource::Heuristic)),
+            (Some((wa, wc)), None) => Some((wa, wc, IncumbentSource::Warm)),
+            (None, Some((ha, hc))) => Some((ha, hc, IncumbentSource::Heuristic)),
+            (None, None) => None,
+        };
         let tables = BoundTables::new(inst);
         let mut search = Searcher::new(inst, &tables, self.max_nodes, None);
-        if self.seed_incumbent {
-            if let Some(seed) = heuristics::seed_incumbent(inst) {
-                let cost = seed.total_cost(inst);
-                if cost <= root_bound + COST_EPS {
-                    // the heuristic met the lower bound: proven optimal
-                    return SolveStatus::Optimal(SolveOutcome {
-                        assignment: seed,
-                        cost,
-                        optimal: true,
-                        nodes: 0,
-                    });
-                }
-                search.install_incumbent(seed.as_slice().to_vec(), cost);
+        if let Some((assignment, cost, source)) = seed {
+            if cost <= root_bound + COST_EPS {
+                // the seed met the lower bound: proven optimal
+                return SolveStatus::Optimal(SolveOutcome {
+                    assignment,
+                    cost,
+                    optimal: true,
+                    nodes: 0,
+                    incumbent_source: source,
+                });
             }
+            search.install_incumbent_from(assignment.as_slice().to_vec(), cost, source);
         }
         search.dfs(0);
         search.into_status()
@@ -157,6 +238,7 @@ pub(crate) struct Searcher<'a> {
     nodes: u64,
     budget: u64,
     truncated: bool,
+    source: IncumbentSource,
     shared: Option<&'a dyn IncumbentSink>,
 }
 
@@ -184,6 +266,7 @@ impl<'a> Searcher<'a> {
             nodes: 0,
             budget,
             truncated: false,
+            source: IncumbentSource::None,
             shared,
         }
     }
@@ -195,6 +278,20 @@ impl<'a> Searcher<'a> {
             self.have_incumbent = true;
             self.best = Some(task_to_gsp);
         }
+    }
+
+    /// [`Searcher::install_incumbent`], also recording where the seed
+    /// came from for telemetry.
+    pub(crate) fn install_incumbent_from(
+        &mut self,
+        task_to_gsp: Vec<usize>,
+        cost: f64,
+        source: IncumbentSource,
+    ) {
+        if cost < self.best_cost {
+            self.source = source;
+        }
+        self.install_incumbent(task_to_gsp, cost);
     }
 
     /// Seed the search state to start from a partial prefix assignment
@@ -243,8 +340,7 @@ impl<'a> Searcher<'a> {
         if depth == n {
             // Leaf: constraints were maintained incrementally.
             let cost = self.committed;
-            if cost < self.best_cost - COST_EPS
-                || (!self.have_incumbent && cost <= self.best_cost)
+            if cost < self.best_cost - COST_EPS || (!self.have_incumbent && cost <= self.best_cost)
             {
                 let mut task_to_gsp = vec![0usize; n];
                 for (d, &g) in self.chosen.iter().enumerate() {
@@ -256,6 +352,7 @@ impl<'a> Searcher<'a> {
                 self.best_cost = cost;
                 self.have_incumbent = true;
                 self.best = Some(task_to_gsp);
+                self.source = IncumbentSource::Search;
             }
             return;
         }
@@ -267,9 +364,7 @@ impl<'a> Searcher<'a> {
         {
             return;
         }
-        if self.committed + self.tables.suffix_min_cost[depth]
-            > self.inst.payment() + COST_EPS
-        {
+        if self.committed + self.tables.suffix_min_cost[depth] > self.inst.payment() + COST_EPS {
             return;
         }
         if self.tables.time_infeasible(depth, &self.loads, self.inst.deadline()) {
@@ -342,12 +437,18 @@ impl<'a> Searcher<'a> {
         let nodes = self.nodes;
         match self.best {
             Some(b) => {
-                let cost = self.best_cost;
+                let assignment = Assignment::new(b);
+                // Canonical cost: re-sum in task order so the same
+                // assignment reports the same bits whether it arrived
+                // via a seed or a search leaf (whose `committed` sums
+                // in branch order).
+                let cost = assignment.total_cost(self.inst);
                 let outcome = SolveOutcome {
-                    assignment: Assignment::new(b),
+                    assignment,
                     cost,
                     optimal: !truncated,
                     nodes,
+                    incumbent_source: self.source,
                 };
                 if truncated {
                     SolveStatus::Feasible(outcome)
@@ -385,14 +486,7 @@ mod tests {
     fn unconstrained_optimum_is_min_cost_with_participation() {
         // loose deadline and payment: optimum = min cost per task,
         // subject to both GSPs being used.
-        let i = inst(
-            3,
-            2,
-            vec![1.0, 4.0, 2.0, 1.0, 3.0, 2.0],
-            vec![1.0; 6],
-            100.0,
-            100.0,
-        );
+        let i = inst(3, 2, vec![1.0, 4.0, 2.0, 1.0, 3.0, 2.0], vec![1.0; 6], 100.0, 100.0);
         let o = BranchBound::default().solve(&i).unwrap();
         assert!(o.optimal);
         assert_eq!(o.cost, 4.0); // 0→G0 (1), 1→G1 (1), 2→G1 (2)
@@ -402,14 +496,7 @@ mod tests {
     #[test]
     fn deadline_forces_costlier_split() {
         // Cheapest GSP can only hold one task by time.
-        let i = inst(
-            2,
-            2,
-            vec![1.0, 10.0, 1.0, 10.0],
-            vec![5.0, 1.0, 5.0, 1.0],
-            6.0,
-            100.0,
-        );
+        let i = inst(2, 2, vec![1.0, 10.0, 1.0, 10.0], vec![5.0, 1.0, 5.0, 1.0], 6.0, 100.0);
         let o = BranchBound::default().solve(&i).unwrap();
         // one task on each GSP: cost 1 + 10 = 11
         assert_eq!(o.cost, 11.0);
@@ -441,14 +528,8 @@ mod tests {
     #[test]
     fn budget_truncation_reports_nonoptimal_or_unknown() {
         // An instance whose tree needs more than 1 node.
-        let i = inst(
-            4,
-            2,
-            vec![1.0, 2.0, 2.0, 1.0, 1.5, 1.5, 2.0, 1.0],
-            vec![1.0; 8],
-            100.0,
-            100.0,
-        );
+        let i =
+            inst(4, 2, vec![1.0, 2.0, 2.0, 1.0, 1.5, 1.5, 2.0, 1.0], vec![1.0; 8], 100.0, 100.0);
         let bb = BranchBound { max_nodes: 1, seed_incumbent: false };
         match bb.solve_status(&i) {
             SolveStatus::Feasible(o) => assert!(!o.optimal),

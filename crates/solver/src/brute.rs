@@ -85,15 +85,8 @@ mod tests {
     fn refuses_huge_instances() {
         let n = 40;
         let k = 4;
-        let i = AssignmentInstance::new(
-            n,
-            k,
-            vec![1.0; n * k],
-            vec![1.0; n * k],
-            1e9,
-            1e9,
-        )
-        .unwrap();
+        let i =
+            AssignmentInstance::new(n, k, vec![1.0; n * k], vec![1.0; n * k], 1e9, 1e9).unwrap();
         let _ = solve(&i);
     }
 }

@@ -291,16 +291,9 @@ mod tests {
 
     #[test]
     fn impossible_deadline_returns_none() {
-        let i = AssignmentInstance::new(
-            2,
-            2,
-            vec![1.0; 4],
-            vec![10.0; 4],
-            1.0,
-            100.0,
-        )
-        .unwrap();
-        for kind in [Heuristic::GreedyCost, Heuristic::MinMin, Heuristic::MaxMin, Heuristic::Sufferage]
+        let i = AssignmentInstance::new(2, 2, vec![1.0; 4], vec![10.0; 4], 1.0, 100.0).unwrap();
+        for kind in
+            [Heuristic::GreedyCost, Heuristic::MinMin, Heuristic::MaxMin, Heuristic::Sufferage]
         {
             assert!(run(kind, &i).is_none(), "{kind:?} must fail on impossible deadline");
         }

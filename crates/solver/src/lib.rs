@@ -48,9 +48,10 @@ pub mod heuristics;
 pub mod hungarian;
 pub mod instance;
 pub mod parallel;
+pub mod repair;
 pub mod solution;
 
-pub use branch_bound::{BranchBound, SolveOutcome};
+pub use branch_bound::{BranchBound, IncumbentSource, SolveOutcome};
 pub use instance::AssignmentInstance;
 pub use solution::{Assignment, FeasibilityError};
 
@@ -102,10 +103,9 @@ impl std::fmt::Display for SolverError {
                 write!(f, "invalid {name}: {value}")
             }
             SolverError::Empty => write!(f, "instance has no tasks or no GSPs"),
-            SolverError::TooFewTasks { tasks, gsps } => write!(
-                f,
-                "{tasks} tasks cannot cover {gsps} GSPs (constraint 13 infeasible)"
-            ),
+            SolverError::TooFewTasks { tasks, gsps } => {
+                write!(f, "{tasks} tasks cannot cover {gsps} GSPs (constraint 13 infeasible)")
+            }
         }
     }
 }

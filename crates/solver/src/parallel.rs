@@ -14,7 +14,9 @@
 //! optimal assignment is returned when several are tied.
 
 use crate::bounds::BoundTables;
-use crate::branch_bound::{IncumbentSink, Searcher, SolveOutcome, SolveStatus, COST_EPS};
+use crate::branch_bound::{
+    IncumbentSink, IncumbentSource, Searcher, SolveOutcome, SolveStatus, COST_EPS,
+};
 use crate::heuristics;
 use crate::instance::AssignmentInstance;
 use crate::solution::Assignment;
@@ -105,18 +107,52 @@ impl ParallelBranchBound {
 
     /// Solve with full status reporting.
     pub fn solve_status(&self, inst: &AssignmentInstance) -> SolveStatus {
+        self.solve_status_with_incumbent(inst, None)
+    }
+
+    /// Like [`ParallelBranchBound::solve`], additionally seeding the
+    /// shared incumbent with a caller-supplied warm assignment (e.g.
+    /// the previous eviction round's repaired optimum). Infeasible or
+    /// wrong-shaped warm assignments are silently ignored.
+    pub fn solve_with_incumbent(
+        &self,
+        inst: &AssignmentInstance,
+        warm: Option<&Assignment>,
+    ) -> Option<SolveOutcome> {
+        match self.solve_status_with_incumbent(inst, warm) {
+            SolveStatus::Optimal(o) | SolveStatus::Feasible(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Full-status variant of
+    /// [`ParallelBranchBound::solve_with_incumbent`].
+    pub fn solve_status_with_incumbent(
+        &self,
+        inst: &AssignmentInstance,
+        warm: Option<&Assignment>,
+    ) -> SolveStatus {
         let tables = BoundTables::new(inst);
         let shared = SharedIncumbent::new();
+        let mut seed_source = IncumbentSource::None;
         if self.seed_incumbent {
             if let Some(seed) = heuristics::seed_incumbent(inst) {
                 let cost = seed.total_cost(inst);
-                shared.offer(cost, seed.as_slice());
+                if shared.offer(cost, seed.as_slice()) {
+                    seed_source = IncumbentSource::Heuristic;
+                }
             }
         }
+        if let Some(w) = warm.filter(|a| a.is_feasible(inst)) {
+            // accepted only when strictly cheaper than the heuristic
+            if shared.offer(w.total_cost(inst), w.as_slice()) {
+                seed_source = IncumbentSource::Warm;
+            }
+        }
+        let seed_cost = shared.best_cost();
 
-        let target = self
-            .target_frontier
-            .unwrap_or_else(|| 4 * rayon::current_num_threads().max(1));
+        let target =
+            self.target_frontier.unwrap_or_else(|| 4 * rayon::current_num_threads().max(1));
         let frontier = build_frontier(inst, &tables, target);
 
         let total_nodes = AtomicU64::new(0);
@@ -147,11 +183,19 @@ impl ParallelBranchBound {
         let best = shared.best.lock().take();
         match best {
             Some(b) if cost <= inst.payment() + COST_EPS => {
+                // offers only accept strict improvements, so a final
+                // cost below the seeded one means a worker's search
+                // produced the incumbent
+                let source = if cost < seed_cost { IncumbentSource::Search } else { seed_source };
+                let assignment = Assignment::new(b);
+                // canonical task-order cost (see `Searcher::into_status`)
+                let cost = assignment.total_cost(inst);
                 let outcome = SolveOutcome {
-                    assignment: Assignment::new(b),
+                    assignment,
                     cost,
                     optimal: !truncated,
                     nodes,
+                    incumbent_source: source,
                 };
                 if truncated {
                     SolveStatus::Feasible(outcome)

@@ -103,12 +103,7 @@ impl Assignment {
 
     /// Tasks assigned to `gsp`.
     pub fn tasks_of(&self, gsp: usize) -> Vec<usize> {
-        self.gsp_of
-            .iter()
-            .enumerate()
-            .filter(|(_, &g)| g == gsp)
-            .map(|(t, _)| t)
-            .collect()
+        self.gsp_of.iter().enumerate().filter(|(_, &g)| g == gsp).map(|(t, _)| t).collect()
     }
 
     /// Objective value (eq. (9)): total execution cost.
@@ -246,10 +241,7 @@ mod tests {
         )
         .unwrap();
         let a = Assignment::new(vec![0, 1]);
-        assert!(matches!(
-            a.check_feasible(&i),
-            Err(FeasibilityError::PaymentExceeded { .. })
-        ));
+        assert!(matches!(a.check_feasible(&i), Err(FeasibilityError::PaymentExceeded { .. })));
     }
 
     #[test]

@@ -110,10 +110,8 @@ pub fn barabasi_albert<R: Rng + ?Sized>(
         let mut chosen = Vec::with_capacity(targets);
         for _ in 0..targets {
             // Weighted pick over existing nodes by 1 + in-degree mass.
-            let total: f64 = (0..i)
-                .filter(|t| !chosen.contains(t))
-                .map(|t| 1.0 + g.in_trust_sum(t))
-                .sum();
+            let total: f64 =
+                (0..i).filter(|t| !chosen.contains(t)).map(|t| 1.0 + g.in_trust_sum(t)).sum();
             let mut pick = rng.gen::<f64>() * total;
             let mut sel = None;
             for t in (0..i).filter(|t| !chosen.contains(t)) {

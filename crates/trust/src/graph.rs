@@ -217,10 +217,7 @@ impl TrustGraph {
         if n < 2 {
             return 0.0;
         }
-        let off_diag_edges = self
-            .edges()
-            .filter(|&(i, j, _)| i != j)
-            .count();
+        let off_diag_edges = self.edges().filter(|&(i, j, _)| i != j).count();
         off_diag_edges as f64 / (n * (n - 1)) as f64
     }
 }

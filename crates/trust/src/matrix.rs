@@ -277,8 +277,7 @@ mod tests {
 
     #[test]
     fn transpose_vec_matches_explicit_transpose() {
-        let m =
-            DenseMatrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let m = DenseMatrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         let x = vec![1.0, -1.0];
         let mut fast = vec![0.0; 3];
         m.mul_transpose_vec_into(&x, &mut fast).unwrap();

@@ -67,12 +67,7 @@ impl ReputationReport {
     /// minimum so the caller can sample among them.
     pub fn lowest(&self) -> Vec<usize> {
         let min = self.scores.iter().cloned().fold(f64::INFINITY, f64::min);
-        self.scores
-            .iter()
-            .enumerate()
-            .filter(|(_, &s)| s <= min)
-            .map(|(i, _)| i)
-            .collect()
+        self.scores.iter().enumerate().filter(|(_, &s)| s <= min).map(|(i, _)| i).collect()
     }
 
     /// Index of the single highest-reputation GSP (first on ties).

@@ -78,7 +78,10 @@ impl AtlasGenerator {
             header: vec![
                 ("Version".into(), "2.1".into()),
                 ("Computer".into(), "Synthetic Atlas (gridvo-workload)".into()),
-                ("Note".into(), "statistically calibrated stand-in for LLNL-Atlas-2006-2.1-cln".into()),
+                (
+                    "Note".into(),
+                    "statistically calibrated stand-in for LLNL-Atlas-2006-2.1-cln".into(),
+                ),
                 ("MaxNodes".into(), "1152".into()),
                 ("MaxProcs".into(), "9216".into()),
             ],

@@ -97,19 +97,15 @@ impl ProgramExtractor {
             n = n.min(cap);
         }
         let (lo, hi) = self.scale_range;
-        let workloads = (0..n)
-            .map(|_| max_gflop * if lo < hi { rng.gen_range(lo..hi) } else { lo })
-            .collect();
+        let workloads =
+            (0..n).map(|_| max_gflop * if lo < hi { rng.gen_range(lo..hi) } else { lo }).collect();
         Program::new(job.job_id, runtime, workloads)
     }
 
     /// Extract programs from every qualifying job of a trace
     /// (completed, runtime ≥ `min_runtime`).
     pub fn extract_all<R: Rng + ?Sized>(&self, trace: &SwfTrace, rng: &mut R) -> Vec<Program> {
-        trace
-            .large_completed(self.min_runtime)
-            .map(|job| self.extract(job, rng))
-            .collect()
+        trace.large_completed(self.min_runtime).map(|job| self.extract(job, rng)).collect()
     }
 
     /// Extract one program whose task count is as close as possible to
@@ -175,7 +171,8 @@ mod tests {
     #[test]
     fn task_count_equals_processors() {
         let mut rng = TestRng::seed_from_u64(1);
-        let p = ProgramExtractor::default().extract(&job(1, 64, 8000.0, SwfStatus::Completed), &mut rng);
+        let p = ProgramExtractor::default()
+            .extract(&job(1, 64, 8000.0, SwfStatus::Completed), &mut rng);
         assert_eq!(p.tasks(), 64);
         assert_eq!(p.source_job, 1);
         assert_eq!(p.base_runtime, 8000.0);
@@ -185,7 +182,8 @@ mod tests {
     fn workloads_inside_paper_range() {
         let mut rng = TestRng::seed_from_u64(2);
         let runtime = 10_000.0;
-        let p = ProgramExtractor::default().extract(&job(1, 256, runtime, SwfStatus::Completed), &mut rng);
+        let p = ProgramExtractor::default()
+            .extract(&job(1, 256, runtime, SwfStatus::Completed), &mut rng);
         let max_gflop = runtime * ATLAS_GFLOPS_PER_PROC;
         for t in 0..p.tasks() {
             let w = p.workload(t);
@@ -200,7 +198,8 @@ mod tests {
         // the longest Atlas jobs. Verify our extraction hits the
         // documented lower bound exactly at threshold runtime.
         let mut rng = TestRng::seed_from_u64(3);
-        let p = ProgramExtractor::default().extract(&job(1, 1000, 7200.0, SwfStatus::Completed), &mut rng);
+        let p = ProgramExtractor::default()
+            .extract(&job(1, 1000, 7200.0, SwfStatus::Completed), &mut rng);
         for t in 0..p.tasks() {
             assert!(p.workload(t) >= 7200.0 * 4.91 * 0.5 - 1e-6);
         }
@@ -220,10 +219,10 @@ mod tests {
         let trace = SwfTrace {
             header: vec![],
             jobs: vec![
-                job(1, 64, 8000.0, SwfStatus::Completed),  // qualifies
-                job(2, 64, 100.0, SwfStatus::Completed),   // too short
-                job(3, 64, 9000.0, SwfStatus::Failed),     // failed
-                job(4, 32, 7200.0, SwfStatus::Completed),  // boundary: qualifies
+                job(1, 64, 8000.0, SwfStatus::Completed), // qualifies
+                job(2, 64, 100.0, SwfStatus::Completed),  // too short
+                job(3, 64, 9000.0, SwfStatus::Failed),    // failed
+                job(4, 32, 7200.0, SwfStatus::Completed), // boundary: qualifies
             ],
         };
         let programs = ProgramExtractor::default().extract_all(&trace, &mut rng);

@@ -164,9 +164,7 @@ impl SwfTrace {
             }
             if let Some(comment) = line.strip_prefix(';') {
                 if let Some((key, value)) = comment.split_once(':') {
-                    trace
-                        .header
-                        .push((key.trim().to_string(), value.trim().to_string()));
+                    trace.header.push((key.trim().to_string(), value.trim().to_string()));
                 }
                 continue;
             }
@@ -211,13 +209,11 @@ fn parse_job_line(line: &str, line_no: usize) -> Result<SwfJob> {
         return Err(WorkloadError::BadFieldCount { line: line_no, got: fields.len() });
     }
     let f = |i: usize| -> Result<f64> {
-        fields[i]
-            .parse::<f64>()
-            .map_err(|_| WorkloadError::BadField {
-                line: line_no,
-                field: i,
-                token: fields[i].to_string(),
-            })
+        fields[i].parse::<f64>().map_err(|_| WorkloadError::BadField {
+            line: line_no,
+            field: i,
+            token: fields[i].to_string(),
+        })
     };
     let int = |i: usize| -> Result<i64> {
         // tolerate float-formatted integers like "8.0"
@@ -355,10 +351,7 @@ mod file_tests {
 
     #[test]
     fn file_round_trip() {
-        let trace = SwfTrace {
-            header: vec![("Version".into(), "2.1".into())],
-            jobs: vec![],
-        };
+        let trace = SwfTrace { header: vec![("Version".into(), "2.1".into())], jobs: vec![] };
         let path = std::env::temp_dir().join(format!("gridvo-swf-{}.swf", std::process::id()));
         trace.to_file(&path).unwrap();
         let back = SwfTrace::from_file(&path).unwrap().unwrap();

@@ -40,8 +40,8 @@ fn main() {
     }
     let deadline = 900.0; // seconds
     let payment = 800.0; // currency units
-    let instance = AssignmentInstance::new(n, m, cost, time, deadline, payment)
-        .expect("valid instance");
+    let instance =
+        AssignmentInstance::new(n, m, cost, time, deadline, payment).expect("valid instance");
 
     // --- Trust: everyone has good history with everyone, except GSP 5
     //     which failed to deliver in the past (low incoming trust).

@@ -80,8 +80,8 @@ fn main() {
         let indeg = centrality::in_degree(graph);
         let close = centrality::closeness(graph);
         let betw = centrality::betweenness(graph);
-        let prop = propagation_scores(&unit_weights(graph), 3, PathCombine::Aggregate)
-            .expect("non-empty");
+        let prop =
+            propagation_scores(&unit_weights(graph), 3, PathCombine::Aggregate).expect("non-empty");
 
         let engines: Vec<(&str, &Vec<f64>)> = vec![
             ("power method (paper)", &eigen),

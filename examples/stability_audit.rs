@@ -45,11 +45,7 @@ fn main() {
     println!("  Theorem 1 (individual stability): {:?}", stability_verdict.unwrap());
     println!("  Theorem 2 (Pareto optimal in L):  {:?}", pareto_ok.unwrap());
     let front = pareto::pareto_front(&outcome.feasible_vos);
-    println!(
-        "  Pareto front of L: {} of {} feasible VOs",
-        front.len(),
-        outcome.feasible_vos.len()
-    );
+    println!("  Pareto front of L: {} of {} feasible VOs", front.len(), outcome.feasible_vos.len());
 
     // --- The induced coalitional game: v(C) = max(0, P − C*(T, C)).
     let solver = BranchBound::default();
@@ -87,7 +83,5 @@ fn main() {
         if lc.core_nonempty(1e-6) { "NON-EMPTY" } else { "EMPTY" },
         lc.rounds
     );
-    println!(
-        "  (an empty core is exactly why the paper retreats to individual stability)"
-    );
+    println!("  (an empty core is exactly why the paper retreats to individual stability)");
 }

@@ -79,9 +79,7 @@ fn main() {
     );
 
     let mech_cfg = paper_config(&cfg);
-    for (name, mech) in
-        [("TVOF", Mechanism::tvof(mech_cfg)), ("RVOF", Mechanism::rvof(mech_cfg))]
-    {
+    for (name, mech) in [("TVOF", Mechanism::tvof(mech_cfg)), ("RVOF", Mechanism::rvof(mech_cfg))] {
         let mut mech_rng = rand::rngs::StdRng::seed_from_u64(99);
         let outcome = mech.run(&scenario, &mut mech_rng).expect("mechanism runs");
         println!("\n== {name} ==");

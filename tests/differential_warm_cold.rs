@@ -1,0 +1,185 @@
+//! Differential test for the incremental formation engine: a
+//! warm-started run (incumbent carry-over across eviction rounds plus
+//! power-method warm starts) must reproduce the cold run's trace.
+//!
+//! Exactness argument (see DESIGN.md): a repaired previous-round
+//! assignment only *tightens* the initial upper bound of an exact
+//! branch-and-bound with a fixed search order, so the proven optimum is
+//! unchanged and the node count can only shrink. The power method's
+//! fixed point is start-independent, so reputation scores agree to the
+//! solver tolerance (~1e-10), and `SCORE_TIE_EPS` in
+//! `lowest_members` absorbs that residue so eviction tie-breaking — and
+//! hence the RNG stream — is identical.
+//!
+//! Two deliberate tolerances:
+//! - costs are compared to 1e-9, not bit-for-bit: when two *different*
+//!   assignments tie within the solver's `COST_EPS`, warm and cold
+//!   searches may surface either one, and the canonical re-costing
+//!   of distinct optima can differ in the last few ulps;
+//! - `warm nodes ≤ cold nodes` is asserted only for the sequential
+//!   solver — the parallel solver's node count depends on thread
+//!   interleaving, so on a multicore host the inequality is not a
+//!   theorem per run.
+
+use gridvo_core::mechanism::{FormationConfig, Mechanism, SolverChoice};
+use gridvo_core::{FormationOutcome, FormationScenario, Gsp};
+use gridvo_solver::parallel::ParallelBranchBound;
+use gridvo_solver::AssignmentInstance;
+use gridvo_trust::TrustGraph;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Random scenario: 2–5 GSPs, gsps..(gsps+6) tasks, random matrices,
+/// payment generous enough that feasibility varies with the deadline
+/// (same shape as `tests/proptest_core.rs`).
+fn scenario_strategy() -> impl Strategy<Value = FormationScenario> {
+    (2usize..=5, 0usize..=4).prop_flat_map(|(m, extra)| {
+        let n = m + 2 + extra;
+        (
+            proptest::collection::vec(1.0f64..30.0, n * m),
+            proptest::collection::vec(0.5f64..4.0, n * m),
+            proptest::collection::vec(0.0f64..1.0, m * m),
+            4.0f64..25.0,   // deadline
+            40.0f64..400.0, // payment
+        )
+            .prop_map(move |(cost, time, trust_w, d, p)| {
+                let gsps = (0..m).map(|i| Gsp::new(i, 100.0 + i as f64)).collect();
+                let inst = AssignmentInstance::new(n, m, cost, time, d, p).expect("valid instance");
+                let mut trust = TrustGraph::new(m);
+                for i in 0..m {
+                    for j in 0..m {
+                        if i != j && trust_w[i * m + j] > 0.5 {
+                            trust.set_trust(i, j, trust_w[i * m + j]);
+                        }
+                    }
+                }
+                FormationScenario::new(gsps, trust, inst).expect("consistent scenario")
+            })
+    })
+}
+
+/// Run one mechanism twice from the same RNG seed — once cold, once
+/// warm — and return both outcomes.
+fn run_pair(
+    mech: fn(FormationConfig) -> Mechanism,
+    solver: SolverChoice,
+    s: &FormationScenario,
+    seed: u64,
+) -> (FormationOutcome, FormationOutcome) {
+    let cold_cfg = FormationConfig { solver, warm_start: false, ..Default::default() };
+    let warm_cfg = FormationConfig { solver, warm_start: true, ..Default::default() };
+    let mut cold_rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut warm_rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let cold = mech(cold_cfg).run(s, &mut cold_rng).expect("cold run");
+    let warm = mech(warm_cfg).run(s, &mut warm_rng).expect("warm run");
+    (cold, warm)
+}
+
+/// The differential oracle: warm and cold traces must match iteration
+/// by iteration — identical member sets, feasibility, eviction order,
+/// and costs to 1e-9 — and the selected VO must be the same.
+fn assert_trace_equivalent(
+    cold: &FormationOutcome,
+    warm: &FormationOutcome,
+    check_nodes: bool,
+) -> std::result::Result<(), TestCaseError> {
+    prop_assert_eq!(cold.iterations.len(), warm.iterations.len(), "trace lengths diverge");
+    for (c, w) in cold.iterations.iter().zip(&warm.iterations) {
+        prop_assert_eq!(&c.members, &w.members, "iteration {} members", c.iteration);
+        prop_assert_eq!(c.feasible, w.feasible, "iteration {} feasibility", c.iteration);
+        prop_assert_eq!(c.evicted, w.evicted, "iteration {} eviction", c.iteration);
+        match (c.cost, w.cost) {
+            (Some(a), Some(b)) => prop_assert!(
+                (a - b).abs() < 1e-9,
+                "iteration {} cost: cold {a} vs warm {b}",
+                c.iteration
+            ),
+            (None, None) => {}
+            other => prop_assert!(false, "iteration {} cost mismatch {other:?}", c.iteration),
+        }
+        if check_nodes {
+            prop_assert!(
+                w.nodes <= c.nodes,
+                "iteration {}: warm expanded {} nodes, cold {}",
+                c.iteration,
+                w.nodes,
+                c.nodes
+            );
+        }
+    }
+    prop_assert_eq!(cold.feasible_vos.len(), warm.feasible_vos.len(), "feasible list L diverges");
+    match (&cold.selected, &warm.selected) {
+        (Some(c), Some(w)) => {
+            prop_assert_eq!(&c.members, &w.members, "selected VO members");
+            prop_assert!(
+                (c.cost - w.cost).abs() < 1e-9,
+                "selected VO cost: cold {} vs warm {}",
+                c.cost,
+                w.cost
+            );
+            prop_assert!(
+                (c.payoff_share - w.payoff_share).abs() < 1e-9,
+                "selected VO payoff share"
+            );
+        }
+        (None, None) => {}
+        _ => prop_assert!(false, "one run selected a VO, the other did not"),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(110))]
+
+    /// TVOF, sequential exact solver: full differential equivalence
+    /// plus the per-round node inequality.
+    #[test]
+    fn tvof_sequential_warm_matches_cold(s in scenario_strategy(), seed in 0u64..1000) {
+        let (cold, warm) = run_pair(Mechanism::tvof, SolverChoice::default(), &s, seed);
+        assert_trace_equivalent(&cold, &warm, true)?;
+    }
+
+    /// RVOF, sequential exact solver: the random-eviction RNG stream
+    /// must also be untouched by warm starts.
+    #[test]
+    fn rvof_sequential_warm_matches_cold(s in scenario_strategy(), seed in 0u64..1000) {
+        let (cold, warm) = run_pair(Mechanism::rvof, SolverChoice::default(), &s, seed);
+        assert_trace_equivalent(&cold, &warm, true)?;
+    }
+
+    /// TVOF, parallel exact solver: same trace, node counts unchecked
+    /// (thread interleaving makes them per-run noise on multicore).
+    #[test]
+    fn tvof_parallel_warm_matches_cold(s in scenario_strategy(), seed in 0u64..1000) {
+        let solver = SolverChoice::ExactParallel(ParallelBranchBound::default());
+        let (cold, warm) = run_pair(Mechanism::tvof, solver, &s, seed);
+        assert_trace_equivalent(&cold, &warm, false)?;
+    }
+
+    /// RVOF, parallel exact solver.
+    #[test]
+    fn rvof_parallel_warm_matches_cold(s in scenario_strategy(), seed in 0u64..1000) {
+        let solver = SolverChoice::ExactParallel(ParallelBranchBound::default());
+        let (cold, warm) = run_pair(Mechanism::rvof, solver, &s, seed);
+        assert_trace_equivalent(&cold, &warm, false)?;
+    }
+
+    /// Warm runs must actually *use* the machinery: whenever a round
+    /// follows a feasible round and solves exactly, its trace records a
+    /// power-iteration count and (when the incumbent survived) a warm
+    /// incumbent source — i.e. the differential pass is not vacuous.
+    #[test]
+    fn warm_runs_record_incremental_telemetry(s in scenario_strategy(), seed in 0u64..1000) {
+        let (_, warm) = run_pair(Mechanism::tvof, SolverChoice::default(), &s, seed);
+        for it in &warm.iterations {
+            if it.feasible {
+                prop_assert!(it.power_iterations >= 1);
+                let src = it.incumbent_source.as_deref();
+                prop_assert!(
+                    matches!(src, Some("heuristic" | "warm" | "search" | "none")),
+                    "unexpected incumbent source {src:?}"
+                );
+            }
+        }
+    }
+}

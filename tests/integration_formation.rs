@@ -31,8 +31,7 @@ fn tvof_selected_vo_assignment_is_feasible_and_optimal() {
     for seed in 0..5u64 {
         let s = scenario(seed);
         let mut rng = seeded_rng(1, seed);
-        let outcome =
-            Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
+        let outcome = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
         let vo = outcome.selected.expect("calibrated scenarios are feasible");
         // the recorded assignment satisfies every IP constraint on the
         // restricted instance
@@ -99,10 +98,7 @@ fn tvof_trace_invariants() {
         let scores = &w[0].reputation_scores;
         let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
         let pos = w[0].members.iter().position(|&m| m == evicted).unwrap();
-        assert!(
-            scores[pos] <= min + 1e-12,
-            "TVOF must evict a lowest-reputation member"
-        );
+        assert!(scores[pos] <= min + 1e-12, "TVOF must evict a lowest-reputation member");
     }
     // every feasible iteration contributed a VO to L
     let feasible_iters = outcome.iterations.iter().filter(|it| it.feasible).count();
@@ -146,8 +142,7 @@ fn selected_vo_always_on_pareto_front() {
     for seed in 0..5u64 {
         let s = scenario(seed + 400);
         let mut rng = seeded_rng(7, seed);
-        let outcome =
-            Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
+        let outcome = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
         if let Some(vo) = &outcome.selected {
             let idx = outcome
                 .feasible_vos
@@ -167,8 +162,7 @@ fn heuristic_mechanism_never_beats_exact_payoff() {
         let s = scenario(seed + 500);
         let mut rng1 = seeded_rng(8, seed);
         let mut rng2 = seeded_rng(8, seed);
-        let exact =
-            Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng1).unwrap();
+        let exact = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng1).unwrap();
         let heur = Mechanism::tvof(FormationConfig {
             solver: SolverChoice::Heuristic(gridvo_solver::heuristics::Heuristic::GreedyCost),
             ..Default::default()

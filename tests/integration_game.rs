@@ -28,10 +28,7 @@ fn vo_game(
     let s2 = scenario.clone();
     let game = MemoCharacteristic::new(FnGame::new(scenario.gsp_count(), move |c: Coalition| {
         let members = c.to_vec();
-        match s2
-            .instance_for(&members)
-            .and_then(|inst| BranchBound::default().solve(&inst))
-        {
+        match s2.instance_for(&members).and_then(|inst| BranchBound::default().solve(&inst)) {
             Some(o) => (payment - o.cost).max(0.0),
             None => 0.0,
         }

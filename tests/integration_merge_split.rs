@@ -59,8 +59,9 @@ fn merge_split_result_is_merge_stable() {
             let a = out.partition[i];
             let b = out.partition[j];
             let m = share(a.union(b));
-            let improving =
-                m >= share(a) - 1e-9 && m >= share(b) - 1e-9 && (m > share(a) + 1e-9 || m > share(b) + 1e-9);
+            let improving = m >= share(a) - 1e-9
+                && m >= share(b) - 1e-9
+                && (m > share(a) + 1e-9 || m > share(b) + 1e-9);
             assert!(!improving, "post-convergence merge {a} + {b} still profitable");
         }
     }
@@ -80,10 +81,8 @@ fn tvof_payoff_competitive_with_merge_split_best() {
         let s = scenario(seed);
         let game = vo_game(&s, BranchBound::default());
         let out = merge_split(&game, 10_000);
-        let ms_share = out
-            .best_coalition(&game)
-            .map(|c| game.value(c) / c.len() as f64)
-            .unwrap_or(0.0);
+        let ms_share =
+            out.best_coalition(&game).map(|c| game.value(c) / c.len() as f64).unwrap_or(0.0);
         let mut rng = seeded_rng(0x536, seed);
         let tvof = Mechanism::tvof(FormationConfig::default()).run(&s, &mut rng).unwrap();
         let tvof_share = tvof.selected.map(|v| v.payoff_share).unwrap_or(0.0);

@@ -17,13 +17,12 @@ fn scenario_strategy() -> impl Strategy<Value = FormationScenario> {
             proptest::collection::vec(1.0f64..30.0, n * m),
             proptest::collection::vec(0.5f64..4.0, n * m),
             proptest::collection::vec(0.0f64..1.0, m * m),
-            4.0f64..25.0,    // deadline
-            40.0f64..400.0,  // payment
+            4.0f64..25.0,   // deadline
+            40.0f64..400.0, // payment
         )
             .prop_map(move |(cost, time, trust_w, d, p)| {
                 let gsps = (0..m).map(|i| Gsp::new(i, 100.0 + i as f64)).collect();
-                let inst = AssignmentInstance::new(n, m, cost, time, d, p)
-                    .expect("valid instance");
+                let inst = AssignmentInstance::new(n, m, cost, time, d, p).expect("valid instance");
                 let mut trust = TrustGraph::new(m);
                 for i in 0..m {
                     for j in 0..m {

@@ -126,3 +126,59 @@ proptest! {
         }
     }
 }
+
+/// The shrunken case recorded in `proptest_game.proptest-regressions`,
+/// locked in as an explicit test so the seed stays in the suite even
+/// though stored `cc` hashes cannot be replayed by the offline proptest
+/// shim. It is a non-monotone game (v({0}) = 49.18 > v(G) = 29.74, so
+/// the core is badly empty) that stresses the degenerate corners of the
+/// least-core LP. Every `g`-only property above is exercised on it.
+#[test]
+fn regression_non_monotone_three_player_game() {
+    let g = TableGame::new(
+        3,
+        vec![
+            0.0,
+            49.178_510_070_623_1,
+            0.0,
+            0.0,
+            29.334_946_916_811_76,
+            0.0,
+            0.0,
+            29.740_790_437_663_723,
+        ],
+    )
+    .expect("valid table");
+    let vg = g.value(g.grand());
+    let n = g.player_count();
+
+    // shapley: efficiency + null player of the augmented game
+    let phi = shapley_exact(&g).unwrap();
+    assert!((phi.iter().sum::<f64>() - vg).abs() < 1e-7);
+    let aug = TableGame::from_fn(n + 1, |c: Coalition| {
+        g.value(Coalition::from_bits(c.bits() & ((1 << n) - 1)))
+    })
+    .unwrap();
+    let phi_aug = shapley_exact(&aug).unwrap();
+    assert!(phi_aug[n].abs() < 1e-9, "null player got {}", phi_aug[n]);
+    for i in 0..n {
+        assert!((phi_aug[i] - phi[i]).abs() < 1e-7);
+    }
+
+    // equal split: efficiency and identical shares
+    let shares = equal_split(&g, g.grand());
+    assert!(is_efficient(&g, g.grand(), &shares, 1e-9));
+    for w in shares.windows(2) {
+        assert_eq!(w[0], w[1]);
+    }
+
+    // least core: efficient, and no coalition's excess beats ε*
+    let lc = least_core(&g, 1e-7).unwrap();
+    assert!((lc.payoff.iter().sum::<f64>() - vg).abs() < 1e-5);
+    let (_, worst) = most_violated(&g, &lc.payoff);
+    assert!(worst <= lc.epsilon + 1e-5, "excess {worst} exceeds ε* {}", lc.epsilon);
+
+    // empty core (ε* > 0 here): the audit must reject the point
+    assert!(lc.epsilon > 1e-6, "this game's core is empty; got ε* {}", lc.epsilon);
+    assert!(!is_in_core(&g, &lc.payoff, 1e-9).unwrap());
+}

@@ -152,11 +152,11 @@ proptest! {
         let pm = PowerMethod::default();
         let rg = pm.run(&row_normalize(&g, DanglingPolicy::Uniform)).unwrap();
         let rh = pm.run(&row_normalize(&h, DanglingPolicy::Uniform)).unwrap();
-        for i in 0..n {
+        for (i, &p) in perm.iter().enumerate() {
             prop_assert!(
-                (rg.scores[i] - rh.scores[perm[i]]).abs() < 1e-7,
+                (rg.scores[i] - rh.scores[p]).abs() < 1e-7,
                 "score of node {i} changed under relabeling: {} vs {}",
-                rg.scores[i], rh.scores[perm[i]]
+                rg.scores[i], rh.scores[p]
             );
         }
     }

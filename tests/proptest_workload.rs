@@ -15,15 +15,8 @@ fn arb_status() -> impl Strategy<Value = SwfStatus> {
 }
 
 fn arb_job() -> impl Strategy<Value = SwfJob> {
-    (
-        1i64..100_000,
-        0.0f64..1e7,
-        0.0f64..1e4,
-        1.0f64..2e5,
-        1i64..9216,
-        arb_status(),
-    )
-        .prop_map(|(id, submit, wait, run, procs, status)| SwfJob {
+    (1i64..100_000, 0.0f64..1e7, 0.0f64..1e4, 1.0f64..2e5, 1i64..9216, arb_status()).prop_map(
+        |(id, submit, wait, run, procs, status)| SwfJob {
             job_id: id,
             submit_time: submit,
             wait_time: wait,
@@ -42,7 +35,8 @@ fn arb_job() -> impl Strategy<Value = SwfJob> {
             partition: 1,
             preceding_job: -1,
             think_time: -1.0,
-        })
+        },
+    )
 }
 
 proptest! {

@@ -43,15 +43,9 @@ fn trust_graph_round_trips() {
 
 #[test]
 fn instance_round_trips() {
-    let i = AssignmentInstance::new(
-        3,
-        2,
-        vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
-        vec![1.0; 6],
-        5.0,
-        10.0,
-    )
-    .unwrap();
+    let i =
+        AssignmentInstance::new(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![1.0; 6], 5.0, 10.0)
+            .unwrap();
     let json = serde_json::to_string(&i).unwrap();
     let back: AssignmentInstance = serde_json::from_str(&json).unwrap();
     assert_eq!(i, back);
@@ -66,7 +60,8 @@ fn malformed_instance_json_rejected() {
     let bad = r#"{"tasks":2,"gsps":2,"cost":[1.0],"time":[1.0,1.0,1.0,1.0],"deadline":5.0,"payment":10.0}"#;
     assert!(serde_json::from_str::<AssignmentInstance>(bad).is_err());
     // fewer tasks than GSPs (constraint 13)
-    let bad = r#"{"tasks":1,"gsps":2,"cost":[1.0,1.0],"time":[1.0,1.0],"deadline":5.0,"payment":10.0}"#;
+    let bad =
+        r#"{"tasks":1,"gsps":2,"cost":[1.0,1.0],"time":[1.0,1.0],"deadline":5.0,"payment":10.0}"#;
     assert!(serde_json::from_str::<AssignmentInstance>(bad).is_err());
 }
 
@@ -88,15 +83,7 @@ fn desynchronized_scenario_rejected() {
     // 3 GSPs declared, but a 2×2 trust graph
     let gsps: Vec<Gsp> = (0..3).map(|i| Gsp::new(i, 100.0)).collect();
     let trust = TrustGraph::new(2);
-    let instance = AssignmentInstance::new(
-        4,
-        3,
-        vec![1.0; 12],
-        vec![1.0; 12],
-        5.0,
-        10.0,
-    )
-    .unwrap();
+    let instance = AssignmentInstance::new(4, 3, vec![1.0; 12], vec![1.0; 12], 5.0, 10.0).unwrap();
     // Can't build it through the constructor, so splice JSON by hand.
     let json = format!(
         r#"{{"gsps":{},"trust":{},"instance":{}}}"#,

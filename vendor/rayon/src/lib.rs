@@ -1,0 +1,212 @@
+//! Offline shim of the `rayon` API surface used by this workspace:
+//! `slice.par_iter()` with `for_each` / `map(...).collect::<Vec<_>>()`,
+//! plus [`current_num_threads`] and [`join`].
+//!
+//! Work is split into one contiguous chunk per available core and run
+//! under `std::thread::scope`; `map` preserves input order. On a
+//! single-core host this degrades to the sequential loop — exactly the
+//! fallback the callers (parallel branch-and-bound, multi-seed runner)
+//! are designed to tolerate.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the pool would use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() > 1 {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon::join worker panicked"))
+        })
+    } else {
+        (a(), b())
+    }
+}
+
+/// A borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// A mapped parallel iterator (the result of [`ParIter::map`]).
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every element, in parallel chunks.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        run_chunks(self.items, &f);
+    }
+
+    /// Lazily map every element; order is preserved on `collect`.
+    pub fn map<F, U>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> U + Sync,
+        U: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<'a, T: Sync, F, U> ParMap<'a, T, F>
+where
+    F: Fn(&'a T) -> U + Sync,
+    U: Send,
+{
+    /// Evaluate the map in parallel, preserving input order.
+    pub fn collect<C: FromParResults<U>>(self) -> C {
+        C::from_ordered(collect_chunks(self.items, &self.f))
+    }
+}
+
+/// Targets of [`ParMap::collect`].
+pub trait FromParResults<U> {
+    /// Build from the in-order results.
+    fn from_ordered(items: Vec<U>) -> Self;
+}
+
+impl<U> FromParResults<U> for Vec<U> {
+    fn from_ordered(items: Vec<U>) -> Self {
+        items
+    }
+}
+
+fn chunk_len(total: usize) -> usize {
+    let workers = current_num_threads().max(1);
+    total.div_ceil(workers).max(1)
+}
+
+fn run_chunks<'a, T: Sync>(items: &'a [T], f: &(dyn Fn(&'a T) + Sync)) {
+    if items.is_empty() {
+        return;
+    }
+    let chunk = chunk_len(items.len());
+    if chunk >= items.len() {
+        items.iter().for_each(f);
+        return;
+    }
+    std::thread::scope(|s| {
+        for part in items.chunks(chunk) {
+            s.spawn(move || part.iter().for_each(f));
+        }
+    });
+}
+
+fn collect_chunks<'a, T: Sync, U: Send>(items: &'a [T], f: &(dyn Fn(&'a T) -> U + Sync)) -> Vec<U> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunk = chunk_len(items.len());
+    if chunk >= items.len() {
+        return items.iter().map(f).collect();
+    }
+    let mut parts: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| s.spawn(move || part.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for part in parts.iter_mut() {
+        out.append(part);
+    }
+    out
+}
+
+/// Extension trait putting `.par_iter()` on slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: Sync + 'a;
+
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Prelude mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_everything_once() {
+        let input: Vec<usize> = (0..257).collect();
+        let count = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        input.par_iter().for_each(|&x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 257);
+        assert_eq!(sum.into_inner(), 257 * 256 / 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let input: Vec<u8> = Vec::new();
+        let out: Vec<u8> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        input.par_iter().for_each(|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+}

@@ -1,0 +1,219 @@
+//! Offline shim of `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! for named-field structs, plus the `#[serde(try_from = "RawX")]`
+//! container attribute.
+//!
+//! Generated impls target the vendored `serde` shim's [`Value`]-tree
+//! data model: `Serialize::to_value` renders an object of the struct's
+//! fields; `Deserialize::from_value` rebuilds the struct via
+//! `::serde::de_field`, or — under `try_from` — deserializes the raw
+//! shadow type and converts through `TryFrom`.
+//!
+//! Parsing is done directly over the `proc_macro::TokenTree` stream
+//! (no `syn`/`quote`, which are not available offline). Only the
+//! shapes this workspace actually uses are supported: non-generic
+//! structs with named fields. Anything else fails the build loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructInfo {
+    name: String,
+    fields: Vec<String>,
+    try_from: Option<String>,
+}
+
+/// Extract the struct name, named-field identifiers, and an optional
+/// `#[serde(try_from = "...")]` target from the derive input.
+fn parse_struct(input: TokenStream) -> StructInfo {
+    let mut iter = input.into_iter().peekable();
+    let mut try_from = None;
+    let mut name = None;
+
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    if let Some(tf) = serde_attr_try_from(g.stream()) {
+                        try_from = Some(tf);
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("derive: expected struct name, found {other:?}"),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                panic!("derive shim supports only structs with named fields, found `{id}`");
+            }
+            _ => {} // visibility and the like
+        }
+    }
+    let name = name.expect("derive: no `struct` keyword in input");
+
+    let mut fields = None;
+    for tt in iter {
+        match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                fields = Some(parse_fields(g.stream()));
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("derive shim does not support generic struct `{name}`");
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("derive shim does not support tuple struct `{name}`");
+            }
+            _ => {}
+        }
+    }
+    let fields =
+        fields.unwrap_or_else(|| panic!("derive: no field block found for struct `{name}`"));
+
+    StructInfo { name, fields, try_from }
+}
+
+/// If the attribute body is `serde(...)`, return the `try_from`
+/// target. Any other `serde(...)` content is unsupported and panics;
+/// non-serde attributes (doc comments etc.) return `None`.
+fn serde_attr_try_from(attr: TokenStream) -> Option<String> {
+    let mut iter = attr.into_iter();
+    match iter.next()? {
+        TokenTree::Ident(id) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match iter.next()? {
+        TokenTree::Group(g) => g.stream(),
+        other => panic!("malformed #[serde] attribute near {other:?}"),
+    };
+    let mut it = inner.into_iter();
+    if let Some(tt) = it.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "try_from" => {
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+                    other => panic!("expected `=` after try_from, found {other:?}"),
+                }
+                match it.next() {
+                    Some(TokenTree::Literal(lit)) => {
+                        return Some(lit.to_string().trim_matches('"').to_string());
+                    }
+                    other => panic!("expected string after try_from =, found {other:?}"),
+                }
+            }
+            other => panic!("unsupported #[serde] attribute content: {other}"),
+        }
+    }
+    None
+}
+
+/// Collect the field names from the brace-delimited body of a
+/// named-field struct. Types are skipped by scanning to the next
+/// top-level comma, tracking `<`/`>` nesting depth.
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // attributes on the field
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            match iter.next() {
+                Some(TokenTree::Group(_)) => {}
+                other => panic!("malformed field attribute near {other:?}"),
+            }
+        }
+        // visibility
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(
+                iter.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                iter.next();
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("unexpected token in struct fields: {other}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        // skip the type: consume until a comma at angle-bracket depth 0
+        let mut depth = 0i64;
+        let mut prev_dash = false;
+        for tt in iter.by_ref() {
+            let mut dash = false;
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    // `->` in fn-pointer types does not close a bracket
+                    '>' if !prev_dash => depth -= 1,
+                    ',' if depth == 0 => break,
+                    '-' => dash = true,
+                    _ => {}
+                }
+            }
+            prev_dash = dash;
+        }
+    }
+    fields
+}
+
+/// `#[derive(Serialize)]`: render the struct as a `Value::Object` of
+/// its fields, in declaration order.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let info = parse_struct(input);
+    let mut pairs = String::new();
+    for f in &info.fields {
+        pairs.push_str(&format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"));
+    }
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{pairs}])\n\
+             }}\n\
+         }}\n",
+        name = info.name,
+    );
+    code.parse().expect("derive(Serialize): generated impl failed to parse")
+}
+
+/// `#[derive(Deserialize)]`: rebuild the struct field-by-field, or —
+/// with `#[serde(try_from = "RawX")]` — deserialize `RawX` and convert
+/// through `TryFrom`, mapping the conversion error to a serde error.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let info = parse_struct(input);
+    let code = if let Some(raw) = &info.try_from {
+        format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     let raw: {raw} = ::serde::Deserialize::from_value(v)?;\n\
+                     <{name} as ::std::convert::TryFrom<{raw}>>::try_from(raw)\n\
+                         .map_err(::serde::Error::custom)\n\
+                 }}\n\
+             }}\n",
+            name = info.name,
+        )
+    } else {
+        let mut inits = String::new();
+        for f in &info.fields {
+            inits.push_str(&format!("{f}: ::serde::de_field(v, \"{f}\")?,"));
+        }
+        format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                 }}\n\
+             }}\n",
+            name = info.name,
+        )
+    };
+    code.parse().expect("derive(Deserialize): generated impl failed to parse")
+}
