@@ -13,6 +13,7 @@
 //! | `fig56_tvof_trace` | Figs. 5–6 — TVOF iteration traces (programs A, B) |
 //! | `fig78_rvof_trace` | Figs. 7–8 — RVOF iteration traces (programs A, B) |
 //! | `fig9_runtime` | Fig. 9 — mechanism execution time vs #tasks |
+//! | `fault_sweep` | beyond-paper: execution under injected faults (`BENCH_faults.json`) |
 //! | `ablation_eviction` | beyond-paper: eviction-policy ablation |
 //! | `ablation_solver` | beyond-paper: exact vs heuristic solver inside TVOF |
 //! | `ablation_topology` | beyond-paper: trust-graph topology ablation |

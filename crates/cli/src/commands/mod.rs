@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 pub mod dynamic;
+pub mod execute;
 pub mod form;
 pub mod game;
 pub mod generate;

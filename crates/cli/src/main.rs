@@ -4,6 +4,7 @@
 //! gridvo generate scenario --tasks 128 --gsps 16 --seed 7 --out scenario.json
 //! gridvo generate trace    --jobs 10000 --seed 7 --out atlas.swf
 //! gridvo form    --scenario scenario.json [--mechanism tvof|rvof] [--seed 1] [--out outcome.json]
+//! gridvo execute --scenario scenario.json [--faults 0.2] [--fault-rounds 4] [--out report.json]
 //! gridvo solve   --scenario scenario.json [--members 0,2,5]
 //! gridvo game    --scenario scenario.json
 //! gridvo stats   --swf atlas.swf
@@ -37,6 +38,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "generate" => commands::generate::run(rest),
         "form" => commands::form::run(rest),
+        "execute" => commands::execute::run(rest),
         "solve" => commands::solve::run(rest),
         "game" => commands::game::run(rest),
         "stats" => commands::stats::run(rest),
@@ -55,6 +57,7 @@ fn usage() -> String {
      subcommands:\n\
        generate scenario|trace   build inputs (Table-I scenario JSON, SWF trace)\n\
        form                      run TVOF/RVOF on a scenario file\n\
+       execute                   form a VO and run it against injected faults\n\
        solve                     solve one task-assignment IP\n\
        game                      coalitional-game analysis (Shapley, core)\n\
        stats                     summarize an SWF trace\n\

@@ -130,6 +130,57 @@ fn rvof_mechanism_selectable() {
 }
 
 #[test]
+fn execute_subcommand_runs_with_and_without_faults() {
+    let dir = tmpdir("exec");
+    let scenario = dir.join("scenario.json");
+    let report = dir.join("report.json");
+    run_ok(gridvo().args([
+        "generate",
+        "scenario",
+        "--out",
+        scenario.to_str().unwrap(),
+        "--tasks",
+        "20",
+        "--gsps",
+        "5",
+        "--seed",
+        "3",
+    ]));
+
+    // fault-free execution is a pass-through of the formation output
+    let out = run_ok(gridvo().args([
+        "execute",
+        "--scenario",
+        scenario.to_str().unwrap(),
+        "--faults",
+        "0",
+        "--out",
+        report.to_str().unwrap(),
+    ]));
+    assert!(out.contains("formed VO"), "no VO in: {out}");
+    assert!(out.contains("fault plan: 0 event(s)"), "plan not empty: {out}");
+    assert!(out.contains("completed"), "did not complete: {out}");
+    let text = std::fs::read_to_string(&report).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(parsed.get("payoff_retention").and_then(|v| v.as_f64()), Some(1.0));
+    assert_eq!(parsed.get("recoveries").and_then(|v| v.as_array()).map(|a| a.len()), Some(0));
+
+    // a hand-written plan file drives execution deterministically
+    let plan = dir.join("plan.json");
+    std::fs::write(&plan, r#"{"events":[{"round":0,"gsp":0,"kind":{"kind":"crash"}}]}"#).unwrap();
+    let out = run_ok(gridvo().args([
+        "execute",
+        "--scenario",
+        scenario.to_str().unwrap(),
+        "--plan",
+        plan.to_str().unwrap(),
+    ]));
+    assert!(out.contains("fault plan: 1 event(s)"), "plan not loaded: {out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn dynamic_subcommand_runs() {
     let out = run_ok(
         gridvo().args(["dynamic", "--rounds", "4", "--gsps", "4", "--tasks", "12", "--seed", "1"]),

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod execution;
 pub mod game_adapter;
 pub mod gsp;
 pub mod mechanism;
@@ -64,6 +65,10 @@ pub mod scenario;
 pub mod stability;
 pub mod vo;
 
+pub use execution::{
+    ExecutionReport, ExecutionStatus, FaultEvent, FaultKind, FaultPlan, RecoveryKind,
+    RecoveryRecord,
+};
 pub use gsp::Gsp;
 pub use mechanism::{EvictionPolicy, FormationConfig, Mechanism, SelectionRule};
 pub use scenario::FormationScenario;

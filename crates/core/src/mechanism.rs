@@ -22,14 +22,16 @@ use gridvo_solver::{repair, AssignmentInstance};
 use rand::Rng;
 use std::time::Instant;
 
-/// What one round's IP solve produced, plus telemetry.
-struct VoSolveReport {
+/// What one IP solve produced, plus telemetry. Shared between the
+/// formation driver and the fault-recovery path in
+/// [`crate::execution`].
+pub(crate) struct VoSolveReport {
     /// `(assignment, cost, proven_optimal)` when feasible.
-    solved: Option<(gridvo_solver::Assignment, f64, bool)>,
+    pub(crate) solved: Option<(gridvo_solver::Assignment, f64, bool)>,
     /// Search-tree nodes expanded (0 for heuristics).
-    nodes: u64,
+    pub(crate) nodes: u64,
     /// Final-incumbent provenance (exact solvers only).
-    incumbent_source: Option<&'static str>,
+    pub(crate) incumbent_source: Option<&'static str>,
 }
 
 /// Which member leaves the VO at each iteration.
@@ -258,6 +260,17 @@ impl Mechanism {
         };
         let warm =
             carry.and_then(|(prev, evicted)| repair::repair_after_eviction(prev, evicted, &inst));
+        self.solve_instance(&inst, warm.as_ref())
+    }
+
+    /// Solve one assignment instance with the configured solver,
+    /// optionally seeded with a warm incumbent. Also the re-solve
+    /// primitive of the fault-recovery path ([`crate::execution`]).
+    pub(crate) fn solve_instance(
+        &self,
+        inst: &AssignmentInstance,
+        warm: Option<&gridvo_solver::Assignment>,
+    ) -> VoSolveReport {
         let from_status = |status: SolveStatus| -> VoSolveReport {
             match status {
                 SolveStatus::Optimal(o) | SolveStatus::Feasible(o) => VoSolveReport {
@@ -271,15 +284,13 @@ impl Mechanism {
             }
         };
         match self.config.solver {
-            SolverChoice::Exact(bb) => {
-                from_status(bb.solve_status_with_incumbent(&inst, warm.as_ref()))
-            }
+            SolverChoice::Exact(bb) => from_status(bb.solve_status_with_incumbent(inst, warm)),
             SolverChoice::ExactParallel(pbb) => {
-                from_status(pbb.solve_status_with_incumbent(&inst, warm.as_ref()))
+                from_status(pbb.solve_status_with_incumbent(inst, warm))
             }
             SolverChoice::Heuristic(kind) => {
-                let solved = heuristics::run(kind, &inst).map(|a| {
-                    let cost = a.total_cost(&inst);
+                let solved = heuristics::run(kind, inst).map(|a| {
+                    let cost = a.total_cost(inst);
                     (a, cost, false)
                 });
                 VoSolveReport { solved, nodes: 0, incumbent_source: None }

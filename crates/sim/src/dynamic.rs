@@ -24,6 +24,7 @@
 //! comparison; `gridvo-bench`'s `dynamic_rounds` binary renders it.
 
 use crate::config::TableI;
+use crate::faults::FaultModel;
 use crate::instance_gen::ScenarioGenerator;
 use crate::{Result, SimError};
 use gridvo_core::mechanism::Mechanism;
@@ -53,6 +54,12 @@ pub struct DynamicConfig {
     /// `Delivered` observation with this probability (an ER-style
     /// prior so round 0 is not trust-blind).
     pub bootstrap_p: f64,
+    /// Execution-time fault injection: when set, every selected VO is
+    /// run against a seeded [`FaultPlan`](gridvo_core::FaultPlan) drawn
+    /// from this model and recovered via the repair-first policy.
+    /// `None` (the default) adds no RNG draws, so existing seeded runs
+    /// replay byte-identically.
+    pub faults: Option<FaultModel>,
 }
 
 impl DynamicConfig {
@@ -67,6 +74,7 @@ impl DynamicConfig {
             decay: DecayModel::default(),
             round_interval: 6.0 * 3600.0,
             bootstrap_p: 0.1,
+            faults: None,
         }
     }
 }
@@ -89,6 +97,13 @@ pub struct RoundRecord {
     pub payoff_share: f64,
     /// Total trust mass in the ledger-derived graph at formation time.
     pub trust_mass: f64,
+    /// Fault events scheduled against this round's VO (0 when fault
+    /// injection is off).
+    pub fault_events: usize,
+    /// Fault-recovery episodes execution went through.
+    pub recoveries: usize,
+    /// Whether execution abandoned the VO (an unrecoverable fault).
+    pub abandoned: bool,
 }
 
 /// Run a dynamic simulation under the given mechanism.
@@ -145,6 +160,25 @@ pub fn simulate<R: Rng + ?Sized>(
                         failed.push(g);
                     }
                 }
+                // Injected faults: run the VO against a seeded plan
+                // and recover; members that execution had to evict
+                // count as failures in the other members' eyes.
+                let (fault_events, recoveries, abandoned, exec_payoff) = match &cfg.faults {
+                    Some(model) => {
+                        let plan = model.plan(&vo.members, rng);
+                        let report = mechanism
+                            .execute(&scenario, &vo, &plan)
+                            .map_err(|e| SimError::Core(e.to_string()))?;
+                        for &g in &vo.members {
+                            if !report.final_members.contains(&g) && !failed.contains(&g) {
+                                failed.push(g);
+                            }
+                        }
+                        let abandoned = !report.completed();
+                        (plan.len(), report.recoveries.len(), abandoned, report.final_payoff_share)
+                    }
+                    None => (0, 0, false, vo.payoff_share),
+                };
                 // Every member observes every other member.
                 for &rater in &vo.members {
                     for &ratee in &vo.members {
@@ -158,15 +192,18 @@ pub fn simulate<R: Rng + ?Sized>(
                         }
                     }
                 }
-                let delivered = failed.is_empty();
+                let delivered = failed.is_empty() && !abandoned;
                 RoundRecord {
                     round,
                     mean_reliability,
                     delivered,
-                    payoff_share: if delivered { vo.payoff_share } else { 0.0 },
+                    payoff_share: if delivered { exec_payoff } else { 0.0 },
                     failed_members: failed,
                     members: vo.members,
                     trust_mass,
+                    fault_events,
+                    recoveries,
+                    abandoned,
                 }
             }
             None => RoundRecord {
@@ -177,6 +214,9 @@ pub fn simulate<R: Rng + ?Sized>(
                 failed_members: Vec::new(),
                 payoff_share: 0.0,
                 trust_mass,
+                fault_events: 0,
+                recoveries: 0,
+                abandoned: false,
             },
         };
         records.push(record);
@@ -286,9 +326,35 @@ mod tests {
             failed_members: vec![],
             payoff_share: 0.0,
             trust_mass: 0.0,
+            fault_events: 0,
+            recoveries: 0,
+            abandoned: false,
         };
         assert_eq!(mean_reliability(std::slice::from_ref(&r)), 0.0);
         assert_eq!(success_rate(&[r]), 0.0);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_produces_telemetry() {
+        let mut c = cfg(6);
+        c.faults = Some(FaultModel::with_rate(0.3, 3));
+        let run = |seed| {
+            let mut rng = TestRng::seed_from_u64(seed);
+            simulate(&c, Mechanism::tvof(FormationConfig::default()), &mut rng).unwrap()
+        };
+        let a = run(5);
+        assert_eq!(a, run(5));
+        assert!(
+            a.iter().any(|r| r.fault_events > 0),
+            "rate 0.3 over 3 rounds × several members should schedule at least one fault"
+        );
+        for r in &a {
+            assert!(r.recoveries <= r.fault_events);
+            if r.abandoned {
+                assert!(!r.delivered, "abandoned programs are not delivered");
+                assert_eq!(r.payoff_share, 0.0);
+            }
+        }
     }
 
     #[test]

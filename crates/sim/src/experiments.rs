@@ -262,6 +262,97 @@ pub fn iteration_trace(cfg: &TableI, tasks: usize, seed: u64) -> Result<TracePai
     Ok(TracePair { tasks, seed, tvof: tvof.iterations, rvof: rvof.iterations })
 }
 
+/// One row of the fault-injection sweep: execution outcomes at one
+/// fault rate, aggregated over seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweepPoint {
+    /// Overall per-member, per-round fault probability.
+    pub fault_rate: f64,
+    /// Fraction of struck faults that were recovered (not abandoned),
+    /// per run with at least one fault.
+    pub recovery_rate: Aggregate,
+    /// Fraction of runs whose execution completed (possibly degraded).
+    pub completion_rate: f64,
+    /// `final_payoff_share / initial_payoff_share` per run (0 when
+    /// abandoned).
+    pub payoff_retention: Aggregate,
+    /// Wall-clock seconds per recovery episode (recovery latency).
+    pub recovery_seconds: Aggregate,
+    /// Share of recoveries handled by greedy repair alone (vs. a full
+    /// re-solve), across all runs.
+    pub repair_fraction: f64,
+    /// Runs at this rate that selected a VO (and thus executed).
+    pub runs: usize,
+}
+
+/// The `BENCH_faults.json` experiment: form a VO per seed, draw a
+/// seeded fault plan at each rate, execute with the repair-first
+/// recovery policy, and aggregate recovery rate, payoff retention and
+/// recovery latency vs. the fault rate.
+pub fn fault_sweep(
+    cfg: &TableI,
+    tasks: usize,
+    rates: &[f64],
+    rounds: usize,
+    seeds: &[u64],
+) -> Result<Vec<FaultSweepPoint>> {
+    use gridvo_core::RecoveryKind;
+    let generator = ScenarioGenerator::new(cfg.clone());
+    let mech_cfg = paper_config(cfg);
+    let mut points = Vec::with_capacity(rates.len());
+    for (rate_idx, &rate) in rates.iter().enumerate() {
+        let model = crate::faults::FaultModel::with_rate(rate, rounds);
+        let results = run_seeds(0xFA017 + rate_idx as u64, seeds, |_seed, rng| {
+            let scenario = generator.scenario(tasks, rng)?;
+            let mech = Mechanism::tvof(mech_cfg);
+            let outcome = mech.run(&scenario, rng).map_err(SimError::from)?;
+            let Some(vo) = outcome.selected else {
+                return Ok::<_, SimError>(None);
+            };
+            let plan = model.plan(&vo.members, rng);
+            let report = mech.execute(&scenario, &vo, &plan).map_err(SimError::from)?;
+            Ok(Some(report))
+        });
+        let mut recovery_rates = Vec::new();
+        let mut retentions = Vec::new();
+        let mut latencies = Vec::new();
+        let mut completed = 0usize;
+        let mut runs = 0usize;
+        let (mut repairs, mut recoveries) = (0usize, 0usize);
+        for r in results {
+            let Some(report) = r? else { continue };
+            runs += 1;
+            if report.completed() {
+                completed += 1;
+            }
+            retentions.push(report.payoff_retention);
+            if !report.recoveries.is_empty() {
+                recovery_rates
+                    .push(report.recovered_count() as f64 / report.recoveries.len() as f64);
+            }
+            for rec in &report.recoveries {
+                latencies.push(rec.seconds);
+                if rec.recovery_kind != RecoveryKind::Absorbed {
+                    recoveries += 1;
+                    if rec.recovery_kind == RecoveryKind::Repair {
+                        repairs += 1;
+                    }
+                }
+            }
+        }
+        points.push(FaultSweepPoint {
+            fault_rate: rate,
+            recovery_rate: Aggregate::of(&recovery_rates),
+            completion_rate: if runs > 0 { completed as f64 / runs as f64 } else { 0.0 },
+            payoff_retention: Aggregate::of(&retentions),
+            recovery_seconds: Aggregate::of(&latencies),
+            repair_fraction: if recoveries > 0 { repairs as f64 / recoveries as f64 } else { 0.0 },
+            runs,
+        });
+    }
+    Ok(points)
+}
+
 /// Run one mechanism on a prepared scenario (used by benches that want
 /// to time the mechanism without scenario-generation noise).
 pub fn run_on_scenario(
@@ -359,6 +450,41 @@ mod tests {
             assert!(p.cold_seconds.mean >= 0.0 && p.warm_seconds.mean >= 0.0);
             assert!(p.speedup.is_finite() && p.speedup > 0.0);
         }
+    }
+
+    #[test]
+    fn fault_sweep_zero_rate_is_lossless_and_rates_degrade() {
+        let cfg = tiny_cfg();
+        let points = fault_sweep(&cfg, 12, &[0.0, 0.6], 3, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(points.len(), 2);
+        let clean = &points[0];
+        assert!(clean.runs > 0);
+        assert_eq!(clean.completion_rate, 1.0, "no faults → every execution completes");
+        assert!(
+            (clean.payoff_retention.mean - 1.0).abs() < 1e-12,
+            "no faults → full payoff retention, got {}",
+            clean.payoff_retention.mean
+        );
+        let faulty = &points[1];
+        assert!(
+            faulty.payoff_retention.mean <= clean.payoff_retention.mean + 1e-9,
+            "faults cannot increase retention"
+        );
+        for p in &points {
+            assert!(p.completion_rate >= 0.0 && p.completion_rate <= 1.0);
+            assert!(p.repair_fraction >= 0.0 && p.repair_fraction <= 1.0);
+        }
+    }
+
+    #[test]
+    fn fault_sweep_is_deterministic() {
+        let cfg = tiny_cfg();
+        let a = fault_sweep(&cfg, 12, &[0.3], 3, &[1, 2]).unwrap();
+        let b = fault_sweep(&cfg, 12, &[0.3], 3, &[1, 2]).unwrap();
+        assert_eq!(a[0].fault_rate, b[0].fault_rate);
+        assert_eq!(a[0].runs, b[0].runs);
+        assert_eq!(a[0].completion_rate, b[0].completion_rate);
+        assert_eq!(a[0].payoff_retention, b[0].payoff_retention);
     }
 
     #[test]

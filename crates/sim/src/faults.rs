@@ -1,0 +1,167 @@
+//! Seeded fault-plan generation for VO execution experiments.
+//!
+//! [`FaultModel`] turns per-round, per-member fault probabilities into
+//! a concrete [`FaultPlan`] with one pass over a seeded RNG. Draws are
+//! made **round-major, member-order** — one uniform per (round,
+//! member) pair plus extras only when a fault fires — so the same
+//! seed, member list and model always reproduce the same plan,
+//! regardless of what execution later does with it.
+
+use gridvo_core::{FaultEvent, FaultKind, FaultPlan};
+use rand::Rng;
+
+/// Per-round fault probabilities for plan generation.
+///
+/// For each execution round and each (initial) VO member, at most one
+/// fault is drawn: crash with probability `crash_rate`, else slowdown
+/// with probability `slowdown_rate`, else a silent task drop with
+/// probability `drop_rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Execution rounds to draw faults for.
+    pub rounds: usize,
+    /// Per-member, per-round crash probability.
+    pub crash_rate: f64,
+    /// Per-member, per-round slowdown probability (tried when no crash
+    /// fired).
+    pub slowdown_rate: f64,
+    /// Uniform range the slowdown factor is drawn from.
+    pub slowdown_range: (f64, f64),
+    /// Per-member, per-round silent-drop probability (tried when
+    /// neither crash nor slowdown fired).
+    pub drop_rate: f64,
+    /// Largest number of tasks a silent drop loses (drawn uniformly
+    /// from `1..=max_dropped_tasks`).
+    pub max_dropped_tasks: usize,
+}
+
+impl FaultModel {
+    /// The fault-free model: every plan it generates is empty.
+    pub fn none() -> Self {
+        FaultModel {
+            rounds: 0,
+            crash_rate: 0.0,
+            slowdown_rate: 0.0,
+            slowdown_range: (1.5, 4.0),
+            drop_rate: 0.0,
+            max_dropped_tasks: 2,
+        }
+    }
+
+    /// A mixed model with overall per-member, per-round fault
+    /// probability `rate`, split 50% crashes, 30% slowdowns (factor
+    /// 1.5–4.0) and 20% silent drops (1–2 tasks) — the split used by
+    /// the `fault_sweep` benchmark.
+    pub fn with_rate(rate: f64, rounds: usize) -> Self {
+        FaultModel {
+            rounds,
+            crash_rate: 0.5 * rate,
+            slowdown_rate: 0.3 * rate,
+            slowdown_range: (1.5, 4.0),
+            drop_rate: 0.2 * rate,
+            max_dropped_tasks: 2,
+        }
+    }
+
+    /// Draw a deterministic fault plan for `members` from `rng`.
+    ///
+    /// Events are generated round-major and in member order. A member
+    /// that crashes stops drawing faults in later rounds (it is gone);
+    /// execution independently skips events for evicted members, so
+    /// plans stay valid even when recovery evicts someone early.
+    pub fn plan<R: Rng + ?Sized>(&self, members: &[usize], rng: &mut R) -> FaultPlan {
+        let mut events = Vec::new();
+        let mut crashed = vec![false; members.len()];
+        for round in 0..self.rounds {
+            for (i, &gsp) in members.iter().enumerate() {
+                if crashed[i] {
+                    continue;
+                }
+                let u: f64 = rng.gen();
+                let kind = if u < self.crash_rate {
+                    crashed[i] = true;
+                    Some(FaultKind::Crash)
+                } else if u < self.crash_rate + self.slowdown_rate {
+                    let (lo, hi) = self.slowdown_range;
+                    Some(FaultKind::Slowdown { factor: rng.gen_range(lo..hi) })
+                } else if u < self.crash_rate + self.slowdown_rate + self.drop_rate {
+                    Some(FaultKind::SilentDrop { tasks: rng.gen_range(1..=self.max_dropped_tasks) })
+                } else {
+                    None
+                };
+                if let Some(kind) = kind {
+                    events.push(FaultEvent { round, gsp, kind });
+                }
+            }
+        }
+        FaultPlan::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::seeded_rng;
+
+    #[test]
+    fn none_model_generates_empty_plans() {
+        let mut rng = seeded_rng(0xFA, 1);
+        let plan = FaultModel::none().plan(&[0, 1, 2], &mut rng);
+        assert!(plan.is_empty());
+        // and consumes no randomness beyond the per-slot uniforms
+        let mut a = seeded_rng(0xFA, 2);
+        let mut b = seeded_rng(0xFA, 2);
+        FaultModel::none().plan(&[0, 1, 2], &mut a);
+        let x: f64 = a.gen();
+        let _ = FaultModel { rounds: 0, ..FaultModel::with_rate(1.0, 0) }.plan(&[0, 1, 2], &mut b);
+        let y: f64 = b.gen();
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let model = FaultModel::with_rate(0.4, 5);
+        let members: Vec<usize> = vec![3, 1, 4, 5, 9, 11];
+        let mut a = seeded_rng(0xFB, 17);
+        let mut b = seeded_rng(0xFB, 17);
+        assert_eq!(model.plan(&members, &mut a), model.plan(&members, &mut b));
+    }
+
+    #[test]
+    fn crashed_members_stop_faulting() {
+        let model = FaultModel { rounds: 50, ..FaultModel::with_rate(1.0, 50) };
+        // rate 1.0 → 0.5 crash: everyone crashes quickly; afterwards
+        // no member may appear again.
+        let mut rng = seeded_rng(0xFC, 3);
+        let plan = model.plan(&[0, 1, 2, 3], &mut rng);
+        for gsp in 0..4usize {
+            let crash_round = plan
+                .events()
+                .iter()
+                .find(|e| e.gsp == gsp && e.kind == FaultKind::Crash)
+                .map(|e| e.round);
+            if let Some(r) = crash_round {
+                assert!(
+                    plan.events().iter().all(|e| e.gsp != gsp || e.round <= r),
+                    "gsp {gsp} faults after crashing in round {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rates_roughly_respected() {
+        let model = FaultModel::with_rate(0.2, 10);
+        let mut rng = seeded_rng(0xFD, 11);
+        let mut total = 0usize;
+        let mut slots = 0usize;
+        for _ in 0..200 {
+            let plan = model.plan(&[0, 1, 2, 3, 4], &mut rng);
+            total += plan.len();
+            // crashing early removes later slots; just bound loosely
+            slots += 10 * 5;
+        }
+        let rate = total as f64 / slots as f64;
+        assert!(rate > 0.05 && rate < 0.25, "empirical fault rate {rate}");
+    }
+}

@@ -37,6 +37,7 @@ pub mod braun;
 pub mod config;
 pub mod dynamic;
 pub mod experiments;
+pub mod faults;
 pub mod instance_gen;
 pub mod report;
 pub mod runner;

@@ -2,7 +2,7 @@
 //! archival). Each renderer emits exactly the series the corresponding
 //! paper figure plots.
 
-use crate::experiments::{SelectionComparison, SweepPoint, TracePair};
+use crate::experiments::{FaultSweepPoint, SelectionComparison, SweepPoint, TracePair};
 use serde::Serialize;
 
 /// CSV for Fig. 1: `tasks, tvof_payoff, tvof_std, rvof_payoff, rvof_std`.
@@ -98,6 +98,27 @@ pub fn trace_csv(trace: &TracePair) -> String {
                 it.avg_reputation
             ));
         }
+    }
+    out
+}
+
+/// CSV for the fault-injection sweep: recovery rate, completion rate,
+/// payoff retention, repair share and recovery latency vs. fault rate.
+pub fn faults_csv(points: &[FaultSweepPoint]) -> String {
+    let mut out = String::from(
+        "fault_rate,recovery_rate,completion_rate,payoff_retention,repair_fraction,recovery_seconds,runs\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:.3},{:.4},{:.4},{:.4},{:.4},{:.6},{}\n",
+            p.fault_rate,
+            p.recovery_rate.mean,
+            p.completion_rate,
+            p.payoff_retention.mean,
+            p.repair_fraction,
+            p.recovery_seconds.mean,
+            p.runs
+        ));
     }
     out
 }

@@ -157,6 +157,32 @@ impl AssignmentInstance {
         (0..self.tasks).map(|t| self.min_cost(t)).sum()
     }
 
+    /// Scale each GSP's execution-time column by a per-GSP factor —
+    /// the instance a VO faces after slowdown faults degrade some
+    /// members. Costs, deadline and payment are untouched: a slowed
+    /// GSP charges the same but eats more of the deadline budget.
+    /// Errors when `factors` has the wrong length or contains a
+    /// non-finite or non-positive factor (via full revalidation).
+    pub fn scale_gsp_times(&self, factors: &[f64]) -> Result<AssignmentInstance> {
+        if factors.len() != self.gsps {
+            return Err(SolverError::BadDimensions { context: "time scale factors" });
+        }
+        let mut time = Vec::with_capacity(self.time.len());
+        for t in 0..self.tasks {
+            for (g, &f) in factors.iter().enumerate() {
+                time.push(self.time(t, g) * f);
+            }
+        }
+        AssignmentInstance::new(
+            self.tasks,
+            self.gsps,
+            self.cost.clone(),
+            time,
+            self.deadline,
+            self.payment,
+        )
+    }
+
     /// Restrict the instance to a subset of GSPs (by index), producing
     /// the IP a *smaller VO* faces. Column `j` of the result is GSP
     /// `keep[j]` of `self`. Errors if the subset is empty or larger
@@ -277,5 +303,37 @@ mod tests {
     fn restrict_gsps_empty_subset_is_error() {
         let inst = small();
         assert_eq!(inst.restrict_gsps(&[]), Err(SolverError::Empty));
+    }
+
+    #[test]
+    fn scale_gsp_times_scales_one_column() {
+        let inst = small();
+        let scaled = inst.scale_gsp_times(&[2.0, 1.0]).unwrap();
+        assert_eq!(scaled.time(0, 0), 2.0);
+        assert_eq!(scaled.time(0, 1), 2.0); // column 1 untouched
+        assert_eq!(scaled.time(2, 0), 2.0);
+        // costs, deadline and payment are untouched
+        assert_eq!(scaled.cost(0, 0), inst.cost(0, 0));
+        assert_eq!(scaled.deadline(), inst.deadline());
+        assert_eq!(scaled.payment(), inst.payment());
+    }
+
+    #[test]
+    fn scale_gsp_times_identity_is_bitwise_identical() {
+        let inst = small();
+        let scaled = inst.scale_gsp_times(&[1.0, 1.0]).unwrap();
+        assert_eq!(scaled, inst);
+    }
+
+    #[test]
+    fn scale_gsp_times_rejects_bad_factors() {
+        let inst = small();
+        assert!(matches!(inst.scale_gsp_times(&[1.0]), Err(SolverError::BadDimensions { .. })));
+        assert!(matches!(inst.scale_gsp_times(&[1.0, 0.0]), Err(SolverError::BadEntry { .. })));
+        assert!(matches!(
+            inst.scale_gsp_times(&[1.0, f64::NAN]),
+            Err(SolverError::BadEntry { .. })
+        ));
+        assert!(matches!(inst.scale_gsp_times(&[-2.0, 1.0]), Err(SolverError::BadEntry { .. })));
     }
 }

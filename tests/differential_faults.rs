@@ -1,0 +1,253 @@
+//! Differential tests for the fault-injection execution layer.
+//!
+//! The load-bearing invariant: executing a selected VO against an
+//! **empty** fault plan is a pure pass-through of the formation output
+//! — same members, bit-identical cost and payoff share, the very same
+//! assignment, no recovery episodes. Beyond that, seeded fault runs
+//! must be deterministic (same plan → same report, across repeats and
+//! across the sequential/parallel exact solvers), and whatever
+//! execution calls "completed" must actually satisfy the deadline and
+//! payment constraints on the instance it claims to have run on
+//! (reconstructed from the reported slowdown factors).
+//!
+//! Cross-solver comparisons use the same tolerance discipline as
+//! `tests/differential_warm_cold.rs`: member sets and statuses are
+//! exact, costs agree to 1e-9 (distinct tie-optimal assignments may
+//! re-cost to different ulps), and wall-clock fields are excluded.
+
+use gridvo_core::mechanism::{FormationConfig, Mechanism, SolverChoice};
+use gridvo_core::{
+    ExecutionReport, ExecutionStatus, FaultEvent, FaultKind, FaultPlan, FormationScenario, Gsp,
+    RecoveryKind, VoRecord,
+};
+use gridvo_solver::parallel::ParallelBranchBound;
+use gridvo_solver::AssignmentInstance;
+use gridvo_trust::TrustGraph;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Random scenario: 2–5 GSPs, gsps..(gsps+6) tasks, random matrices
+/// (same shape as `tests/differential_warm_cold.rs`).
+fn scenario_strategy() -> impl Strategy<Value = FormationScenario> {
+    (2usize..=5, 0usize..=4).prop_flat_map(|(m, extra)| {
+        let n = m + 2 + extra;
+        (
+            proptest::collection::vec(1.0f64..30.0, n * m),
+            proptest::collection::vec(0.5f64..4.0, n * m),
+            proptest::collection::vec(0.0f64..1.0, m * m),
+            4.0f64..25.0,   // deadline
+            40.0f64..400.0, // payment
+        )
+            .prop_map(move |(cost, time, trust_w, d, p)| {
+                let gsps = (0..m).map(|i| Gsp::new(i, 100.0 + i as f64)).collect();
+                let inst = AssignmentInstance::new(n, m, cost, time, d, p).expect("valid instance");
+                let mut trust = TrustGraph::new(m);
+                for i in 0..m {
+                    for j in 0..m {
+                        if i != j && trust_w[i * m + j] > 0.5 {
+                            trust.set_trust(i, j, trust_w[i * m + j]);
+                        }
+                    }
+                }
+                FormationScenario::new(gsps, trust, inst).expect("consistent scenario")
+            })
+    })
+}
+
+/// A random fault plan over `m` GSPs: up to 6 events across 4 rounds,
+/// mixing crashes, slowdowns and silent drops. GSP ids may point at
+/// non-members — execution must skip those.
+fn plan_strategy(m: usize) -> impl Strategy<Value = FaultPlan> {
+    let event = (0usize..4, 0..m, kind_strategy()).prop_map(|(round, gsp, kind)| FaultEvent {
+        round,
+        gsp,
+        kind,
+    });
+    proptest::collection::vec(event, 0..=6).prop_map(FaultPlan::new)
+}
+
+fn kind_strategy() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        Just(FaultKind::Crash),
+        (1.2f64..5.0).prop_map(|factor| FaultKind::Slowdown { factor }),
+        (1usize..=3).prop_map(|tasks| FaultKind::SilentDrop { tasks }),
+    ]
+}
+
+/// (scenario, plan) pairs where the plan targets the scenario's GSPs.
+fn scenario_and_plan() -> impl Strategy<Value = (FormationScenario, FaultPlan)> {
+    scenario_strategy().prop_flat_map(|s| {
+        let m = s.gsp_count();
+        (Just(s), plan_strategy(m))
+    })
+}
+
+fn form(s: &FormationScenario, solver: SolverChoice, seed: u64) -> Option<VoRecord> {
+    let cfg = FormationConfig { solver, ..Default::default() };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Mechanism::tvof(cfg).run(s, &mut rng).expect("formation runs").selected
+}
+
+fn execute(
+    s: &FormationScenario,
+    vo: &VoRecord,
+    plan: &FaultPlan,
+    solver: SolverChoice,
+) -> ExecutionReport {
+    let cfg = FormationConfig { solver, ..Default::default() };
+    Mechanism::tvof(cfg).execute(s, vo, plan).expect("execution runs")
+}
+
+/// Reports must agree up to wall-clock noise: everything except the
+/// `seconds` fields is compared exactly.
+fn assert_reports_identical(
+    a: &ExecutionReport,
+    b: &ExecutionReport,
+) -> std::result::Result<(), TestCaseError> {
+    prop_assert_eq!(&a.initial_members, &b.initial_members);
+    prop_assert_eq!(&a.final_members, &b.final_members);
+    prop_assert_eq!(a.initial_cost.to_bits(), b.initial_cost.to_bits());
+    prop_assert_eq!(a.final_cost.to_bits(), b.final_cost.to_bits());
+    prop_assert_eq!(a.final_payoff_share.to_bits(), b.final_payoff_share.to_bits());
+    prop_assert_eq!(a.payoff_retention.to_bits(), b.payoff_retention.to_bits());
+    prop_assert_eq!(&a.final_assignment, &b.final_assignment);
+    prop_assert_eq!(&a.time_factors, &b.time_factors);
+    prop_assert_eq!(a.status, b.status);
+    prop_assert_eq!(a.rounds, b.rounds);
+    prop_assert_eq!(a.recoveries.len(), b.recoveries.len());
+    for (x, y) in a.recoveries.iter().zip(&b.recoveries) {
+        prop_assert_eq!(x.round, y.round);
+        prop_assert_eq!(x.gsp, y.gsp);
+        prop_assert_eq!(x.fault, y.fault);
+        prop_assert_eq!(x.recovery_kind, y.recovery_kind);
+        prop_assert_eq!(x.orphaned_tasks, y.orphaned_tasks);
+        prop_assert_eq!(x.cost_before.to_bits(), y.cost_before.to_bits());
+        prop_assert_eq!(x.cost_after.to_bits(), y.cost_after.to_bits());
+        prop_assert_eq!(x.resolve_nodes, y.resolve_nodes);
+        prop_assert_eq!(x.survivors, y.survivors);
+        prop_assert_eq!(x.avg_reputation_after.to_bits(), y.avg_reputation_after.to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(110))]
+
+    /// The tentpole invariant: an empty fault plan reproduces the
+    /// formation output **bit-identically** — same members, same
+    /// assignment, cost and payoff equal to the last bit, zero
+    /// recoveries, no degradation flag.
+    #[test]
+    fn empty_plan_is_bit_identical_to_formation(s in scenario_strategy(), seed in 0u64..1000) {
+        let Some(vo) = form(&s, SolverChoice::default(), seed) else { return Ok(()) };
+        let report = execute(&s, &vo, &FaultPlan::empty(), SolverChoice::default());
+        prop_assert_eq!(report.status, ExecutionStatus::Completed { degraded: false });
+        prop_assert_eq!(&report.initial_members, &vo.members);
+        prop_assert_eq!(&report.final_members, &vo.members);
+        prop_assert_eq!(report.initial_cost.to_bits(), vo.cost.to_bits());
+        prop_assert_eq!(report.final_cost.to_bits(), vo.cost.to_bits());
+        prop_assert_eq!(report.final_payoff_share.to_bits(), vo.payoff_share.to_bits());
+        prop_assert_eq!(report.payoff_retention.to_bits(), 1.0f64.to_bits());
+        prop_assert_eq!(report.final_assignment.as_ref(), Some(&vo.assignment));
+        prop_assert!(report.recoveries.is_empty());
+        prop_assert_eq!(report.rounds, 0);
+        prop_assert!(report.time_factors.iter().all(|&f| f == 1.0));
+    }
+
+    /// Same seed + same plan → the same report, down to the bit
+    /// (wall-clock fields excluded).
+    #[test]
+    fn seeded_fault_runs_are_deterministic(sp in scenario_and_plan(), seed in 0u64..1000) {
+        let (s, plan) = sp;
+        let Some(vo) = form(&s, SolverChoice::default(), seed) else { return Ok(()) };
+        let a = execute(&s, &vo, &plan, SolverChoice::default());
+        let b = execute(&s, &vo, &plan, SolverChoice::default());
+        assert_reports_identical(&a, &b)?;
+    }
+
+    /// Sequential vs parallel exact solver: both start from the same
+    /// formed VO and replay the same plan, so statuses, surviving
+    /// member sets and recovery traces must agree; costs to 1e-9 (the
+    /// two searches may surface distinct tie-optimal assignments).
+    #[test]
+    fn fault_runs_agree_across_solver_backends(sp in scenario_and_plan(), seed in 0u64..1000) {
+        let (s, plan) = sp;
+        let Some(vo) = form(&s, SolverChoice::default(), seed) else { return Ok(()) };
+        let par = SolverChoice::ExactParallel(ParallelBranchBound::default());
+        let a = execute(&s, &vo, &plan, SolverChoice::default());
+        let b = execute(&s, &vo, &plan, par);
+        prop_assert_eq!(a.status, b.status);
+        prop_assert_eq!(&a.final_members, &b.final_members);
+        prop_assert!((a.final_cost - b.final_cost).abs() < 1e-9,
+            "final cost: sequential {} vs parallel {}", a.final_cost, b.final_cost);
+        prop_assert!((a.final_payoff_share - b.final_payoff_share).abs() < 1e-9);
+        prop_assert_eq!(a.recoveries.len(), b.recoveries.len());
+        for (x, y) in a.recoveries.iter().zip(&b.recoveries) {
+            prop_assert_eq!(x.round, y.round);
+            prop_assert_eq!(x.gsp, y.gsp);
+            prop_assert_eq!(x.survivors, y.survivors);
+        }
+    }
+
+    /// Whatever execution calls completed must be *feasible*: the
+    /// final assignment satisfies coverage, the deadline and the
+    /// payment cap on the instance reconstructed from the report's
+    /// final members and accumulated slowdown factors.
+    #[test]
+    fn recovered_assignments_satisfy_all_constraints(sp in scenario_and_plan(), seed in 0u64..1000) {
+        let (s, plan) = sp;
+        let Some(vo) = form(&s, SolverChoice::default(), seed) else { return Ok(()) };
+        let report = execute(&s, &vo, &plan, SolverChoice::default());
+        if let ExecutionStatus::Completed { .. } = report.status {
+            let a = report.final_assignment.as_ref().expect("completed → assignment");
+            let inst = s.instance_for(&report.final_members).expect("non-empty VO");
+            let factors: Vec<f64> =
+                report.final_members.iter().map(|&g| report.time_factors[g]).collect();
+            let scaled = inst.scale_gsp_times(&factors).expect("valid factors");
+            if let Err(e) = a.check_feasible(&scaled) {
+                prop_assert!(false, "completed execution is infeasible: {e:?}");
+            }
+            // payoff bookkeeping is internally consistent
+            prop_assert!(report.final_cost <= s.payment() + 1e-9);
+            prop_assert!(report.final_payoff_share >= 0.0);
+        } else {
+            prop_assert!(report.final_assignment.is_none(), "abandoned runs carry no assignment");
+            prop_assert_eq!(report.final_payoff_share, 0.0);
+        }
+    }
+
+    /// Telemetry invariants: monotone round order, cost deltas add up,
+    /// crashed members never reappear among the survivors.
+    #[test]
+    fn recovery_telemetry_is_consistent(sp in scenario_and_plan(), seed in 0u64..1000) {
+        let (s, plan) = sp;
+        let Some(vo) = form(&s, SolverChoice::default(), seed) else { return Ok(()) };
+        let report = execute(&s, &vo, &plan, SolverChoice::default());
+        let mut last_round = 0usize;
+        for r in &report.recoveries {
+            prop_assert!(r.round >= last_round, "recoveries out of order");
+            last_round = r.round;
+            prop_assert!((r.cost_delta - (r.cost_after - r.cost_before)).abs() < 1e-12);
+            prop_assert!(r.survivors >= 1);
+            prop_assert!(r.survivors <= vo.members.len());
+        }
+        // a *recovered* crash always evicts its member; an abandoned
+        // one leaves the roster frozen at the moment of failure
+        for e in plan.events() {
+            if e.kind == FaultKind::Crash
+                && report.recoveries.iter().any(|r| {
+                    r.gsp == e.gsp
+                        && r.fault == FaultKind::Crash
+                        && matches!(r.recovery_kind, RecoveryKind::Repair | RecoveryKind::Resolve)
+                })
+            {
+                prop_assert!(
+                    !report.final_members.contains(&e.gsp),
+                    "crashed member {} survived", e.gsp
+                );
+            }
+        }
+        prop_assert!(report.final_members.iter().all(|g| vo.members.contains(g)),
+            "execution invented a member");
+    }
+}

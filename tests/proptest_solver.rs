@@ -9,14 +9,14 @@
 use gridvo_solver::branch_bound::BranchBound;
 use gridvo_solver::heuristics::{self, Heuristic};
 use gridvo_solver::parallel::ParallelBranchBound;
-use gridvo_solver::{brute, AssignmentInstance};
+use gridvo_solver::{brute, repair, AssignmentInstance};
 use proptest::prelude::*;
 
-/// Random small instance: 1–3 GSPs (≤ gsps ≤ tasks), 2–7 tasks, costs
+/// Random small instance: 1–4 GSPs (≤ gsps ≤ tasks), 2–9 tasks, costs
 /// and times in small ranges, deadline/payment spanning feasible and
 /// infeasible regimes.
 fn small_instance() -> impl Strategy<Value = AssignmentInstance> {
-    (1usize..=3, 0usize..=5).prop_flat_map(|(gsps, extra_tasks)| {
+    (1usize..=4, 0usize..=4).prop_flat_map(|(gsps, extra_tasks)| {
         let tasks = gsps + 1 + extra_tasks; // tasks > gsps keeps (13) satisfiable
         let len = tasks * gsps;
         (
@@ -102,6 +102,31 @@ proptest! {
             (None, None) => {}
             (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
             _ => prop_assert!(false, "permutation changed feasibility"),
+        }
+    }
+
+    /// Oracle coverage for `solver::repair`: starting from the proven
+    /// optimum, evicting any GSP and repairing must (a) yield a
+    /// feasible assignment on the reduced instance whenever repair
+    /// claims success, and (b) never beat the reduced instance's own
+    /// brute-force optimum.
+    #[test]
+    fn repair_is_feasible_and_never_beats_reduced_optimum(inst in small_instance()) {
+        let k = inst.gsps();
+        prop_assume!(k >= 2);
+        let Some(opt) = BranchBound::default().solve(&inst) else { return Ok(()) };
+        for evicted in 0..k {
+            let keep: Vec<usize> = (0..k).filter(|&g| g != evicted).collect();
+            let sub = inst.restrict_gsps(&keep).expect("valid restriction");
+            if let Some(repaired) = repair::repair_after_eviction(&opt.assignment, evicted, &sub) {
+                prop_assert!(repaired.is_feasible(&sub),
+                    "repair after evicting {evicted} claimed success but is infeasible");
+                let (_, reduced_opt) = brute::solve(&sub)
+                    .expect("a feasible repair implies a feasible reduced instance");
+                let c = repaired.total_cost(&sub);
+                prop_assert!(c >= reduced_opt - 1e-9,
+                    "repair cost {c} beats the reduced optimum {reduced_opt}");
+            }
         }
     }
 

@@ -1,7 +1,9 @@
 //! Property-based tests for the trust/reputation substrate.
 
+use gridvo_trust::decay::{DecayModel, InteractionLedger, Outcome};
 use gridvo_trust::generators;
 use gridvo_trust::normalize::{is_row_stochastic, row_normalize, DanglingPolicy};
+use gridvo_trust::propagation::{propagated_trust, PathCombine};
 use gridvo_trust::{DenseMatrix, PowerMethod, TrustGraph};
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -179,6 +181,154 @@ proptest! {
         for i in 0..g.node_count() {
             let node_decl = format!("g{i} [label=");
             prop_assert!(dot.contains(&node_decl), "missing node {}", i);
+        }
+    }
+}
+
+/// Random interaction ledger: 2–6 GSPs, up to 30 timestamped
+/// interactions in `[0, 50]` with mixed outcomes.
+fn ledger_strategy() -> impl Strategy<Value = InteractionLedger> {
+    (2usize..=6).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 0.0f64..50.0, 0.0f64..1.0), 1..30).prop_map(
+            move |evs| {
+                let mut l = InteractionLedger::new(n);
+                for (i, j, t, u) in evs {
+                    if i != j {
+                        let outcome = if u < 0.7 { Outcome::Delivered } else { Outcome::Failed };
+                        l.record(i, j, t, outcome);
+                    }
+                }
+                l
+            },
+        )
+    })
+}
+
+/// Success-only variant (all interactions `Delivered`), for the
+/// monotone-decay property where clamping can't interfere.
+fn success_ledger_strategy() -> impl Strategy<Value = InteractionLedger> {
+    ledger_strategy().prop_map(|l| {
+        let mut s = InteractionLedger::new(l.gsp_count());
+        for rec in l.iter() {
+            s.record(rec.rater, rec.ratee, rec.time, Outcome::Delivered);
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// Decay weights are a monotone non-increasing map from age into
+    /// `(0, 1]`, anchored at `weight(0) = 1`.
+    #[test]
+    fn decay_age_weight_is_monotone_and_bounded(
+        hl in 1.0f64..100.0,
+        a1 in 0.0f64..500.0,
+        a2 in 0.0f64..500.0,
+    ) {
+        let m = DecayModel { half_life: hl, ..DecayModel::default() };
+        let (lo, hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+        prop_assert!(m.age_weight(hi) <= m.age_weight(lo) + 1e-15);
+        prop_assert!(m.age_weight(lo) > 0.0 && m.age_weight(lo) <= 1.0);
+        prop_assert_eq!(m.age_weight(0.0), 1.0);
+        // half-life semantics: weight halves exactly at age = half_life
+        prop_assert!((m.age_weight(hl) - 0.5).abs() < 1e-12);
+    }
+
+    /// "Idempotent at rate 0": with decay disabled (infinite
+    /// half-life, the paper's model), the materialized trust graph is
+    /// time-invariant once all evidence is in the past.
+    #[test]
+    fn decay_at_rate_zero_is_idempotent(l in ledger_strategy(), dt in 0.0f64..1e6) {
+        let m = DecayModel::default(); // half_life = ∞
+        let g1 = m.trust_at(&l, 50.0);
+        let g2 = m.trust_at(&l, 50.0 + dt);
+        let n = l.gsp_count();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(
+                    g1.trust(i, j).to_bits(),
+                    g2.trust(i, j).to_bits(),
+                    "edge {}->{} changed with no decay", i, j
+                );
+            }
+        }
+    }
+
+    /// Finite half-life decays trust monotonically toward the zero
+    /// prior: total trust mass never grows as the query time advances
+    /// past the last interaction, and vanishes in the limit.
+    #[test]
+    fn decay_is_monotone_toward_zero_prior(
+        l in success_ledger_strategy(),
+        hl in 1.0f64..20.0,
+        d1 in 0.0f64..100.0,
+        d2 in 0.0f64..100.0,
+    ) {
+        let m = DecayModel { half_life: hl, ..DecayModel::default() };
+        let now1 = 50.0 + d1;
+        let now2 = now1 + d2;
+        let t1 = m.total_trust_at(&l, now1);
+        let t2 = m.total_trust_at(&l, now2);
+        prop_assert!(t2 <= t1 + 1e-12, "trust mass grew: {t1} -> {t2}");
+        // limit: evidence a thousand half-lives old carries nothing
+        prop_assert!(m.total_trust_at(&l, 50.0 + 1000.0 * hl) < 1e-6);
+    }
+
+    /// Propagated trust stays inside the unit interval (the
+    /// row-stochastic property of the propagation operator on `[0,1]`
+    /// weights), with a zero diagonal; the best path is at least the
+    /// direct edge, and aggregation dominates best-path selection.
+    #[test]
+    fn propagation_stays_in_unit_interval(g in trust_graph(), hops in 1usize..=4) {
+        let n = g.node_count();
+        let agg = propagated_trust(&g, hops, PathCombine::Aggregate).expect("valid weights");
+        let best = propagated_trust(&g, hops, PathCombine::SelectBest).expect("valid weights");
+        for i in 0..n {
+            prop_assert_eq!(agg[i * n + i], 0.0);
+            prop_assert_eq!(best[i * n + i], 0.0);
+            for j in 0..n {
+                let (a, b) = (agg[i * n + j], best[i * n + j]);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&a), "aggregate {a} out of unit");
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&b), "best {b} out of unit");
+                prop_assert!(a >= b - 1e-12, "aggregate {a} below best-path {b}");
+                if i != j {
+                    prop_assert!(b >= g.trust(i, j) - 1e-12,
+                        "best path below the direct edge {} -> {}", i, j);
+                }
+            }
+        }
+    }
+
+    /// More hops can only reveal more paths: propagated trust is
+    /// pointwise monotone in `max_hops` for both combination rules.
+    #[test]
+    fn propagation_is_monotone_in_hops(g in trust_graph(), hops in 1usize..=3) {
+        let n = g.node_count();
+        for combine in [PathCombine::Aggregate, PathCombine::SelectBest] {
+            let short = propagated_trust(&g, hops, combine).expect("valid weights");
+            let long = propagated_trust(&g, hops + 1, combine).expect("valid weights");
+            for k in 0..n * n {
+                prop_assert!(long[k] >= short[k] - 1e-12,
+                    "trust dropped with more hops under {combine:?}");
+            }
+        }
+    }
+
+    /// The propagation-based reputation engine, like every engine,
+    /// returns an L1-normalized (probability) score vector.
+    #[test]
+    fn propagation_engine_scores_are_a_distribution(g in trust_graph(), hops in 1usize..=3) {
+        use gridvo_core::reputation::ReputationEngine;
+        let members: Vec<usize> = (0..g.node_count()).collect();
+        for combine in [PathCombine::Aggregate, PathCombine::SelectBest] {
+            let rep = ReputationEngine::propagation(hops, combine)
+                .compute(&g, &members)
+                .expect("propagation engine runs");
+            let sum: f64 = rep.scores.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "scores sum to {sum}, not 1");
+            prop_assert!(rep.scores.iter().all(|&s| s >= 0.0));
         }
     }
 }
