@@ -1,0 +1,220 @@
+//! Daemon load benchmark: throughput, latency and cache hit rate vs.
+//! concurrent client count, plus an admission-control phase proving
+//! the bounded queue sheds load with typed `Busy` responses. Emits
+//! `BENCH_service.json`.
+//!
+//! Phase 1 spins up an in-process [`ServerHandle`] and sweeps client
+//! counts (1..=8+). Each client owns one TCP connection and issues
+//! `form` requests over the seed list twice, so later rounds replay
+//! the solve cache. Phase 2 restarts the daemon with one worker and a
+//! queue bound of one, parks the worker on a slow ping, and verifies
+//! that surplus requests are rejected with `Busy` rather than queued
+//! or deadlocked.
+
+use std::time::Instant;
+
+use gridvo_bench::{ascii_table, BenchArgs};
+use gridvo_core::FormationScenario;
+use gridvo_service::protocol::{MechanismKind, Response};
+use gridvo_service::{ServerConfig, ServerHandle, ServiceClient};
+use gridvo_sim::instance_gen::ScenarioGenerator;
+use gridvo_sim::TableI;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Seed-list passes per client; ≥ 2 so the cache gets replayed.
+const PASSES: usize = 2;
+
+#[derive(Debug, Serialize)]
+struct SweepPoint {
+    clients: usize,
+    requests: u64,
+    wall_seconds: f64,
+    throughput_rps: f64,
+    mean_latency_ms: f64,
+    max_latency_ms: f64,
+    cache_hit_rate: f64,
+    busy_rejections: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct ShedResult {
+    attempts: u64,
+    busy: u64,
+    served: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct ServiceBench {
+    gsps: usize,
+    tasks: usize,
+    passes: usize,
+    seeds: Vec<u64>,
+    sweep: Vec<SweepPoint>,
+    shed: ShedResult,
+}
+
+fn scenario(args: &BenchArgs) -> FormationScenario {
+    let tasks = if args.paper { 64 } else { 24 };
+    let cfg = TableI { gsps: 6, task_sizes: vec![tasks], ..TableI::small() };
+    let mut rng = StdRng::seed_from_u64(7);
+    match ScenarioGenerator::new(cfg).scenario(tasks, &mut rng) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scenario generation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// One sweep point: `clients` threads, each forming over every seed
+/// `PASSES` times against a fresh daemon.
+fn run_point(scenario: &FormationScenario, clients: usize, seeds: &[u64]) -> SweepPoint {
+    let config = ServerConfig { workers: 4, queue_capacity: 256, ..ServerConfig::default() };
+    let handle = ServerHandle::spawn(scenario, config).expect("daemon spawns in-process");
+    let addr = handle.addr().to_string();
+
+    let started = Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|_| {
+                let addr = &addr;
+                scope.spawn(move || {
+                    let mut client =
+                        ServiceClient::connect(addr.as_str()).expect("client connects");
+                    let mut lat = Vec::with_capacity(seeds.len() * PASSES);
+                    for _ in 0..PASSES {
+                        for &seed in seeds {
+                            let t0 = Instant::now();
+                            let resp = client
+                                .form(seed, MechanismKind::Tvof, None)
+                                .expect("form request round-trips");
+                            assert!(
+                                matches!(resp, Response::Form { .. }),
+                                "unexpected response kind {:?}",
+                                resp.kind()
+                            );
+                            lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        workers.into_iter().flat_map(|w| w.join().expect("client thread survives")).collect()
+    });
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let metrics = handle.metrics_snapshot();
+    handle.shutdown();
+
+    let requests = latencies.len() as u64;
+    SweepPoint {
+        clients,
+        requests,
+        wall_seconds,
+        throughput_rps: requests as f64 / wall_seconds.max(1e-9),
+        mean_latency_ms: latencies.iter().sum::<f64>() / requests.max(1) as f64,
+        max_latency_ms: latencies.iter().fold(0.0, |a: f64, &b| a.max(b)),
+        cache_hit_rate: metrics.cache_hit_rate,
+        busy_rejections: metrics.busy_rejections,
+    }
+}
+
+/// Admission-control phase: one worker, queue bound of one. A slow
+/// ping parks the worker, a second fills the queue; everything after
+/// that must be shed with `Busy`.
+fn run_shed(scenario: &FormationScenario) -> ShedResult {
+    let config = ServerConfig { workers: 1, queue_capacity: 1, ..ServerConfig::default() };
+    let handle = ServerHandle::spawn(scenario, config).expect("daemon spawns in-process");
+    let addr = handle.addr().to_string();
+
+    let (attempts, busy, served) = std::thread::scope(|scope| {
+        let holder = scope.spawn({
+            let addr = addr.clone();
+            move || {
+                let mut c = ServiceClient::connect(addr.as_str()).expect("holder connects");
+                c.ping(600).expect("holder ping round-trips")
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        let filler = scope.spawn({
+            let addr = addr.clone();
+            move || {
+                let mut c = ServiceClient::connect(addr.as_str()).expect("filler connects");
+                c.ping(0).expect("filler ping round-trips")
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(100));
+
+        // Worker parked, queue full: these must all be shed, fast.
+        let mut busy = 0u64;
+        let mut served = 0u64;
+        let mut client = ServiceClient::connect(addr.as_str()).expect("prober connects");
+        let attempts = 8u64;
+        for _ in 0..attempts {
+            match client.ping(0).expect("probe ping round-trips") {
+                Response::Busy => busy += 1,
+                Response::Pong => served += 1,
+                other => panic!("unexpected response kind {:?}", other.kind()),
+            }
+        }
+        for h in [holder, filler] {
+            let resp = h.join().expect("held client survives");
+            assert!(matches!(resp, Response::Pong), "held ping was not served");
+        }
+        (attempts, busy, served)
+    });
+    handle.shutdown();
+    ShedResult { attempts, busy, served }
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let scenario = scenario(&args);
+
+    let sweep: Vec<SweepPoint> =
+        CLIENT_COUNTS.iter().map(|&n| run_point(&scenario, n, &args.seeds)).collect();
+
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|p| {
+            vec![
+                p.clients.to_string(),
+                p.requests.to_string(),
+                format!("{:.1}", p.throughput_rps),
+                format!("{:.2}", p.mean_latency_ms),
+                format!("{:.2}", p.max_latency_ms),
+                format!("{:.2}", p.cache_hit_rate),
+                p.busy_rejections.to_string(),
+            ]
+        })
+        .collect();
+    eprintln!(
+        "{}",
+        ascii_table(
+            &["clients", "requests", "req/s", "mean ms", "max ms", "cache hit", "busy"],
+            &rows
+        )
+    );
+
+    let shed = run_shed(&scenario);
+    eprintln!("admission control: {}/{} probes shed with Busy", shed.busy, shed.attempts);
+    if shed.busy == 0 {
+        eprintln!("error: bounded queue never shed load — admission control is broken");
+        std::process::exit(1);
+    }
+
+    let bench = ServiceBench {
+        gsps: scenario.gsp_count(),
+        tasks: scenario.task_count(),
+        passes: PASSES,
+        seeds: args.seeds.clone(),
+        sweep,
+        shed,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("bench report serializes");
+    args.write_artifact("BENCH_service.json", &json).unwrap();
+}

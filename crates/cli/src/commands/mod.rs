@@ -5,6 +5,8 @@ pub mod execute;
 pub mod form;
 pub mod game;
 pub mod generate;
+pub mod request;
+pub mod serve;
 pub mod solve;
 pub mod stats;
 

@@ -1,0 +1,229 @@
+//! `gridvo request` — speak the daemon protocol from the shell.
+
+use crate::args::Flags;
+use crate::commands::write_json;
+use gridvo_core::FaultPlan;
+use gridvo_service::protocol::{MechanismKind, Response};
+use gridvo_service::ServiceClient;
+
+const HELP: &str = "\
+usage: gridvo request <op> --addr HOST:PORT [op flags]
+
+ops:
+  form          --seed S [--mechanism tvof|rvof] [--deadline-ms D] [--out f.json]
+  execute       --seed S [--plan plan.json] [--mechanism tvof|rvof]
+                [--deadline-ms D] [--out f.json]
+  metrics       [--out f.json]
+  registry      [--out f.json]
+  report-trust  --from I --to J --value V
+  add-gsp       --speed S --cost c1,c2,.. --time t1,t2,..
+  remove-gsp    --id I
+  ping          [--sleep-ms N]
+
+Sends one request to a running `gridvo serve` daemon and prints the
+response. Busy / deadline-exceeded responses exit non-zero so shell
+loops can back off and retry.";
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let Some((op, rest)) = argv.split_first() else {
+        return Err(HELP.to_string());
+    };
+    let flags = Flags::parse(
+        rest,
+        &[
+            "addr",
+            "seed",
+            "mechanism",
+            "deadline-ms",
+            "out",
+            "plan",
+            "from",
+            "to",
+            "value",
+            "speed",
+            "cost",
+            "time",
+            "id",
+            "sleep-ms",
+        ],
+        &[],
+    )
+    .map_err(|e| if e == "help" { HELP.to_string() } else { e })?;
+    let addr = flags.require("addr")?;
+    let mut client =
+        ServiceClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    match op.as_str() {
+        "form" => form(&mut client, &flags),
+        "execute" => execute(&mut client, &flags),
+        "metrics" => {
+            let snapshot = client.metrics().map_err(|e| e.to_string())?;
+            println!(
+                "requests {} (form {}, execute {}), busy {}, deadline-dropped {}, errors {}",
+                snapshot.requests_total,
+                snapshot.form_requests,
+                snapshot.execute_requests,
+                snapshot.busy_rejections,
+                snapshot.deadline_rejections,
+                snapshot.request_errors,
+            );
+            println!(
+                "cache: {} hits / {} misses (rate {:.2}), {} entries; queue depth {}",
+                snapshot.cache_hits,
+                snapshot.cache_misses,
+                snapshot.cache_hit_rate,
+                snapshot.cache_entries,
+                snapshot.queue_depth,
+            );
+            println!(
+                "latency: queue wait mean {:.3} ms (max {:.3}), service mean {:.3} ms (max {:.3})",
+                snapshot.queue_wait_ms.mean_ms(),
+                snapshot.queue_wait_ms.max_ms,
+                snapshot.service_ms.mean_ms(),
+                snapshot.service_ms.max_ms,
+            );
+            maybe_out(&flags, &snapshot)
+        }
+        "registry" => {
+            let snapshot = client.registry().map_err(|e| e.to_string())?;
+            println!(
+                "epoch {}: {} GSPs, {} tasks, {} logged events, last refresh {} power iteration(s)",
+                snapshot.epoch,
+                snapshot.gsps,
+                snapshot.tasks,
+                snapshot.events,
+                snapshot.power_iterations,
+            );
+            maybe_out(&flags, &snapshot)
+        }
+        "report-trust" => {
+            let from: usize = flags.num("from", usize::MAX)?;
+            let to: usize = flags.num("to", usize::MAX)?;
+            let value: f64 = flags.num("value", f64::NAN)?;
+            let epoch = client.report_trust(from, to, value).map_err(|e| e.to_string())?;
+            println!("trust {from} -> {to} = {value}; registry epoch now {epoch}");
+            Ok(())
+        }
+        "add-gsp" => {
+            let speed: f64 = flags.num("speed", 0.0)?;
+            let cost = float_list(&flags, "cost")?;
+            let time = float_list(&flags, "time")?;
+            let (id, epoch) = client.add_gsp(speed, cost, time).map_err(|e| e.to_string())?;
+            println!("joined as GSP {id}; registry epoch now {epoch}");
+            Ok(())
+        }
+        "remove-gsp" => {
+            let id: usize = flags.num("id", usize::MAX)?;
+            let epoch = client.remove_gsp(id).map_err(|e| e.to_string())?;
+            println!("GSP {id} removed; registry epoch now {epoch}");
+            Ok(())
+        }
+        "ping" => {
+            let sleep_ms: u64 = flags.num("sleep-ms", 0)?;
+            match client.ping(sleep_ms).map_err(|e| e.to_string())? {
+                Response::Pong => {
+                    println!("pong");
+                    Ok(())
+                }
+                other => shed(other),
+            }
+        }
+        other => Err(format!("unknown request op {other:?}\n{HELP}")),
+    }
+}
+
+fn mechanism(flags: &Flags) -> Result<MechanismKind, String> {
+    let name = flags.get("mechanism").unwrap_or("tvof");
+    MechanismKind::parse(name).ok_or_else(|| format!("unknown mechanism {name:?} (tvof|rvof)"))
+}
+
+fn deadline(flags: &Flags) -> Result<Option<u64>, String> {
+    Ok(match flags.num("deadline-ms", 0u64)? {
+        0 => None,
+        ms => Some(ms),
+    })
+}
+
+fn form(client: &mut ServiceClient, flags: &Flags) -> Result<(), String> {
+    let seed: u64 = flags.num("seed", 1)?;
+    match client.form(seed, mechanism(flags)?, deadline(flags)?).map_err(|e| e.to_string())? {
+        Response::Form { outcome } => {
+            match &outcome.selected {
+                Some(vo) => println!(
+                    "selected VO {:?}: payoff/GSP {:.2}, avg reputation {:.4}, cost {:.1} \
+                     ({} iteration(s))",
+                    vo.members,
+                    vo.payoff_share,
+                    vo.avg_reputation,
+                    vo.cost,
+                    outcome.iterations.len(),
+                ),
+                None => println!("no feasible VO"),
+            }
+            maybe_out(flags, &outcome)
+        }
+        other => shed(other),
+    }
+}
+
+fn execute(client: &mut ServiceClient, flags: &Flags) -> Result<(), String> {
+    let seed: u64 = flags.num("seed", 1)?;
+    let plan = match flags.get("plan") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read plan {path}: {e}"))?;
+            serde_json::from_str::<FaultPlan>(&text)
+                .map_err(|e| format!("invalid fault plan JSON in {path}: {e}"))?
+        }
+        None => FaultPlan::empty(),
+    };
+    match client
+        .execute(seed, mechanism(flags)?, plan, deadline(flags)?)
+        .map_err(|e| e.to_string())?
+    {
+        Response::Execute { outcome, report } => {
+            match &report {
+                Some(r) => println!(
+                    "executed: {} -> {} member(s), cost {:.1} -> {:.1}, {} recover(ies), \
+                     completed: {}",
+                    r.initial_members.len(),
+                    r.final_members.len(),
+                    r.initial_cost,
+                    r.final_cost,
+                    r.recoveries.len(),
+                    r.completed(),
+                ),
+                None => println!("no feasible VO — nothing executed"),
+            }
+            if let Some(out) = flags.get("out") {
+                write_json(out, &Response::Execute { outcome, report })?;
+            }
+            Ok(())
+        }
+        other => shed(other),
+    }
+}
+
+fn shed(response: Response) -> Result<(), String> {
+    match response {
+        Response::Busy => Err("server busy (queue full) — retry later".to_string()),
+        Response::DeadlineExceeded => Err("request dropped: deadline exceeded".to_string()),
+        Response::Error { message } => Err(format!("server error: {message}")),
+        other => Err(format!("unexpected response kind {:?}", other.kind())),
+    }
+}
+
+fn maybe_out<T: serde::Serialize>(flags: &Flags, value: &T) -> Result<(), String> {
+    match flags.get("out") {
+        Some(path) => write_json(path, value),
+        None => Ok(()),
+    }
+}
+
+fn float_list(flags: &Flags, name: &str) -> Result<Vec<f64>, String> {
+    flags
+        .require(name)?
+        .split(',')
+        .map(|p| p.trim().parse().map_err(|_| format!("invalid number in --{name}: {p:?}")))
+        .collect()
+}

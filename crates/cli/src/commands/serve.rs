@@ -1,0 +1,155 @@
+//! `gridvo serve` — run the formation daemon.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::args::Flags;
+use crate::commands::load_scenario;
+use gridvo_service::{ServerConfig, ServerHandle};
+use gridvo_sim::instance_gen::ScenarioGenerator;
+use gridvo_sim::TableI;
+use rand::SeedableRng;
+
+const HELP: &str = "\
+usage: gridvo serve [--scenario FILE | --tasks N --gsps M --seed S]
+                    [--addr 127.0.0.1:0] [--workers W] [--queue Q]
+                    [--cache C] [--deadline-ms D]
+
+Starts the long-running VO-formation daemon on a loopback TCP port,
+serving the newline-delimited-JSON protocol (see `gridvo request`).
+The provider pool is bootstrapped from --scenario, or generated from
+Table-I parameters when no file is given. Prints `listening on
+HOST:PORT` once ready; runs until SIGTERM (or, when stdin is a
+supervising pipe, until that pipe closes), then shuts
+down cleanly (exit 0).
+
+  --workers      worker threads draining the job queue (default 2)
+  --queue        job-queue bound; beyond it requests get Busy (default 64)
+  --cache        solve-cache capacity in entries, 0 disables (default 4096)
+  --deadline-ms  default per-request deadline, 0 = none (default 0)";
+
+/// SIGTERM flag, set by a minimal C-ABI handler. The daemon's main
+/// loop polls it; no async-signal-unsafe work happens in the handler.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    use super::{AtomicBool, Ordering, TERM};
+
+    /// Quiet-shutdown marker so double signals don't re-enter.
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        if !INSTALLED.swap(true, Ordering::SeqCst) {
+            const SIGTERM: i32 = 15;
+            const SIGINT: i32 = 2;
+            // SAFETY: registering a handler that only stores to an
+            // AtomicBool — async-signal-safe by construction.
+            unsafe {
+                signal(SIGTERM, on_term);
+                signal(SIGINT, on_term);
+            }
+        }
+    }
+}
+
+/// Is stdin a pipe (as opposed to a terminal, /dev/null, …)?
+/// Resolved via procfs; anywhere that's unreadable we assume pipe,
+/// preserving the close-to-shutdown contract.
+fn stdin_is_pipe() -> bool {
+    match std::fs::read_link("/proc/self/fd/0") {
+        Ok(target) => target.to_string_lossy().starts_with("pipe:"),
+        Err(_) => true,
+    }
+}
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(
+        argv,
+        &["scenario", "tasks", "gsps", "seed", "addr", "workers", "queue", "cache", "deadline-ms"],
+        &[],
+    )
+    .map_err(|e| if e == "help" { HELP.to_string() } else { e })?;
+
+    let scenario = match flags.get("scenario") {
+        Some(path) => load_scenario(path)?,
+        None => {
+            let tasks: usize = flags.num("tasks", 32)?;
+            let gsps: usize = flags.num("gsps", 6)?;
+            let seed: u64 = flags.num("seed", 1)?;
+            if tasks < gsps {
+                return Err(format!("--tasks {tasks} must be at least --gsps {gsps}"));
+            }
+            let cfg = TableI { gsps, task_sizes: vec![tasks], ..TableI::small() };
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            ScenarioGenerator::new(cfg)
+                .scenario(tasks, &mut rng)
+                .map_err(|e| format!("generation failed: {e}"))?
+        }
+    };
+
+    let config = ServerConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:0").to_string(),
+        workers: flags.num("workers", 2)?,
+        queue_capacity: flags.num("queue", 64)?,
+        cache_capacity: flags.num("cache", 4096)?,
+        default_deadline_ms: flags.num("deadline-ms", 0)?,
+    };
+    let handle =
+        ServerHandle::spawn(&scenario, config).map_err(|e| format!("cannot start daemon: {e}"))?;
+
+    // The e2e test and scripts parse this exact line for the port.
+    println!("listening on {}", handle.addr());
+    println!(
+        "pool: {} GSPs, {} tasks; shutdown on SIGTERM or stdin close",
+        scenario.gsp_count(),
+        scenario.task_count()
+    );
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+
+    #[cfg(unix)]
+    sig::install();
+
+    // Stdin-EOF watcher: a supervisor (or a test) holding our stdin
+    // open as a pipe can stop us by closing it. Only armed when stdin
+    // actually IS a pipe — a terminal would stop a backgrounded
+    // daemon with SIGTTIN on read, and /dev/null (systemd-style) is
+    // at EOF from the start, which would shut us down instantly.
+    let stdin_closed = Arc::new(AtomicBool::new(false));
+    if stdin_is_pipe() {
+        let stdin_closed = Arc::clone(&stdin_closed);
+        std::thread::spawn(move || {
+            use std::io::Read;
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin();
+            loop {
+                match stdin.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+            stdin_closed.store(true, Ordering::SeqCst);
+        });
+    }
+
+    while !TERM.load(Ordering::SeqCst) && !stdin_closed.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+
+    let metrics = handle.metrics_snapshot();
+    handle.shutdown();
+    println!(
+        "shut down cleanly: {} requests served, {} busy-shed, cache hit rate {:.2}",
+        metrics.requests_total, metrics.busy_rejections, metrics.cache_hit_rate
+    );
+    Ok(())
+}

@@ -9,6 +9,8 @@
 //! gridvo game    --scenario scenario.json
 //! gridvo stats   --swf atlas.swf
 //! gridvo dynamic --rounds 16 --gsps 16 --tasks 64 --seed 1
+//! gridvo serve   [--scenario scenario.json] [--addr 127.0.0.1:0] [--workers 2]
+//! gridvo request form --addr 127.0.0.1:PORT --seed 1
 //! ```
 //!
 //! Scenario files are JSON serializations of
@@ -43,6 +45,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "game" => commands::game::run(rest),
         "stats" => commands::stats::run(rest),
         "dynamic" => commands::dynamic::run(rest),
+        "serve" => commands::serve::run(rest),
+        "request" => commands::request::run(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -62,6 +66,8 @@ fn usage() -> String {
        game                      coalitional-game analysis (Shapley, core)\n\
        stats                     summarize an SWF trace\n\
        dynamic                   multi-round dynamic formation\n\
+       serve                     run the VO-formation daemon (loopback TCP)\n\
+       request                   send one request to a running daemon\n\
      \n\
      run `gridvo <subcommand> --help` for options"
         .to_string()

@@ -26,7 +26,7 @@
 use crate::mechanism::Mechanism;
 use crate::scenario::FormationScenario;
 use crate::vo::VoRecord;
-use crate::{FormationOutcome, Result};
+use crate::{CoreError, FormationOutcome, Result};
 use gridvo_solver::{repair, Assignment, AssignmentInstance};
 use rand::Rng;
 use serde::{de_field, Deserialize, Error, Serialize, Value};
@@ -314,6 +314,17 @@ impl ExecutionReport {
     pub fn recovered_count(&self) -> usize {
         self.recoveries.iter().filter(|r| r.recovery_kind != RecoveryKind::Abandon).count()
     }
+
+    /// Zero every wall-clock timing field, leaving only the
+    /// deterministic content. Served responses are canonicalized this
+    /// way so identical requests are byte-identical (and cache replays
+    /// indistinguishable from fresh solves).
+    pub fn zero_timings(&mut self) {
+        self.total_seconds = 0.0;
+        for r in &mut self.recoveries {
+            r.seconds = 0.0;
+        }
+    }
 }
 
 /// Outcome of one eviction-based recovery attempt.
@@ -405,7 +416,7 @@ impl Mechanism {
                         time_factors[ev.gsp] *= factor;
                         let inst = self
                             .scaled_instance(scenario, &members, &time_factors)
-                            .expect("live VO has a valid instance");
+                            .ok_or(CoreError::EmptyVo { context: "live VO lost its instance" })?;
                         if assignment.is_feasible(&inst) {
                             (RecoveryKind::Absorbed, 0)
                         } else {
@@ -468,9 +479,10 @@ impl Mechanism {
                             };
                             (kind, dropped)
                         } else {
-                            let inst = self
-                                .scaled_instance(scenario, &members, &time_factors)
-                                .expect("live VO has a valid instance");
+                            let inst =
+                                self.scaled_instance(scenario, &members, &time_factors).ok_or(
+                                    CoreError::EmptyVo { context: "live VO lost its instance" },
+                                )?;
                             match rehome_dropped(&assignment, local, &mine[..dropped], &inst) {
                                 Some(a) => {
                                     cost = a.total_cost(&inst);
@@ -632,7 +644,7 @@ fn rehome_dropped(
     let min_time = |t: usize| {
         (0..k).filter(|&g| g != dropper).map(|g| inst.time(t, g)).fold(f64::INFINITY, f64::min)
     };
-    orphans.sort_by(|&a, &b| min_time(b).partial_cmp(&min_time(a)).expect("finite times"));
+    orphans.sort_by(|&a, &b| min_time(b).total_cmp(&min_time(a)));
     for t in orphans {
         let mut best: Option<(usize, f64)> = None;
         for g in (0..k).filter(|&g| g != dropper) {

@@ -62,6 +62,7 @@ pub mod merge_split;
 pub mod pareto;
 pub mod reputation;
 pub mod scenario;
+pub mod solve_cache;
 pub mod stability;
 pub mod vo;
 
@@ -86,6 +87,11 @@ pub enum CoreError {
     Trust(gridvo_trust::TrustError),
     /// The solver substrate rejected an instance.
     Solver(gridvo_solver::SolverError),
+    /// An operation needed at least one member / a live VO but got none.
+    EmptyVo {
+        /// What was empty.
+        context: &'static str,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -94,6 +100,7 @@ impl std::fmt::Display for CoreError {
             CoreError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
             CoreError::Trust(e) => write!(f, "trust error: {e}"),
             CoreError::Solver(e) => write!(f, "solver error: {e}"),
+            CoreError::EmptyVo { context } => write!(f, "empty VO: {context}"),
         }
     }
 }

@@ -13,8 +13,9 @@
 
 use crate::reputation::ReputationEngine;
 use crate::scenario::FormationScenario;
+use crate::solve_cache::{solve_key, CachedSolve, NoCache, SolveCache};
 use crate::vo::{FormationOutcome, IterationRecord, VoRecord};
-use crate::Result;
+use crate::{CoreError, Result};
 use gridvo_solver::branch_bound::{BranchBound, SolveStatus};
 use gridvo_solver::heuristics::{self, Heuristic};
 use gridvo_solver::parallel::ParallelBranchBound;
@@ -31,7 +32,24 @@ pub(crate) struct VoSolveReport {
     /// Search-tree nodes expanded (0 for heuristics).
     pub(crate) nodes: u64,
     /// Final-incumbent provenance (exact solvers only).
-    pub(crate) incumbent_source: Option<&'static str>,
+    pub(crate) incumbent_source: Option<String>,
+}
+
+impl VoSolveReport {
+    /// The cacheable image of this solve (what [`SolveCache::store`]
+    /// receives on a miss).
+    fn to_cached(&self) -> CachedSolve {
+        CachedSolve {
+            solved: self.solved.clone(),
+            nodes: self.nodes,
+            incumbent_source: self.incumbent_source.clone(),
+        }
+    }
+
+    /// Rebuild a report from a cache hit.
+    fn from_cached(c: CachedSolve) -> Self {
+        VoSolveReport { solved: c.solved, nodes: c.nodes, incumbent_source: c.incumbent_source }
+    }
 }
 
 /// Which member leaves the VO at each iteration.
@@ -143,6 +161,25 @@ impl Mechanism {
         scenario: &FormationScenario,
         rng: &mut R,
     ) -> Result<FormationOutcome> {
+        self.run_cached(scenario, rng, &mut NoCache)
+    }
+
+    /// [`Mechanism::run`] with a solver-side memo table.
+    ///
+    /// Every per-round exact solve first consults `cache` under
+    /// [`solve_key`] (instance content hash ⊕ warm incumbent); misses
+    /// are solved and stored. Because the key covers the full solver
+    /// input and the solvers are deterministic, a cached run is
+    /// **trace-identical** to an uncached one — same assignments,
+    /// costs, `nodes` and `incumbent_source` telemetry — except for
+    /// wall-clock timings. The `gridvo-service` daemon passes its
+    /// shared cache here; plain library callers use [`Mechanism::run`].
+    pub fn run_cached<R: Rng + ?Sized>(
+        &self,
+        scenario: &FormationScenario,
+        rng: &mut R,
+        cache: &mut dyn SolveCache,
+    ) -> Result<FormationOutcome> {
         let started = Instant::now();
         let mut members: Vec<usize> = (0..scenario.gsp_count()).collect();
         let mut iterations = Vec::new();
@@ -169,7 +206,7 @@ impl Mechanism {
                     .map(|local| (prev_assignment, local)),
                 _ => None,
             };
-            let report = self.solve_vo(scenario, &members, warm_seed);
+            let report = self.solve_vo(scenario, &members, warm_seed, cache);
             let solve_seconds = solve_started.elapsed().as_secs_f64();
 
             let rep_start: Option<Vec<f64>> = match (&prev_reputation, self.config.warm_start) {
@@ -195,7 +232,7 @@ impl Mechanism {
 
             // Algorithm 1 exits at the first infeasible VO.
             let evicted = if feasible && members.len() > 1 {
-                Some(self.pick_eviction(scenario, &members, &reputation, rng))
+                Some(self.pick_eviction(scenario, &members, &reputation, rng)?)
             } else {
                 None
             };
@@ -225,7 +262,7 @@ impl Mechanism {
                 evicted,
                 solve_seconds,
                 nodes: report.nodes,
-                incumbent_source: report.incumbent_source.map(str::to_string),
+                incumbent_source: report.incumbent_source,
                 power_iterations: reputation.iterations,
             });
             prev_reputation = Some(reputation);
@@ -248,19 +285,27 @@ impl Mechanism {
 
     /// Solve the IP for a candidate VO, optionally warm-started with
     /// the previous round's assignment (`carry` = that assignment plus
-    /// the evicted member's local index within the previous VO).
+    /// the evicted member's local index within the previous VO), going
+    /// through the memo table first.
     fn solve_vo(
         &self,
         scenario: &FormationScenario,
         members: &[usize],
         carry: Option<(&gridvo_solver::Assignment, usize)>,
+        cache: &mut dyn SolveCache,
     ) -> VoSolveReport {
         let Some(inst): Option<AssignmentInstance> = scenario.instance_for(members) else {
             return VoSolveReport { solved: None, nodes: 0, incumbent_source: None };
         };
         let warm =
             carry.and_then(|(prev, evicted)| repair::repair_after_eviction(prev, evicted, &inst));
-        self.solve_instance(&inst, warm.as_ref())
+        let key = solve_key(&inst, warm.as_ref());
+        if let Some(hit) = cache.lookup(key) {
+            return VoSolveReport::from_cached(hit);
+        }
+        let report = self.solve_instance(&inst, warm.as_ref());
+        cache.store(key, &report.to_cached());
+        report
     }
 
     /// Solve one assignment instance with the configured solver,
@@ -275,7 +320,7 @@ impl Mechanism {
             match status {
                 SolveStatus::Optimal(o) | SolveStatus::Feasible(o) => VoSolveReport {
                     nodes: o.nodes,
-                    incumbent_source: Some(o.incumbent_source.as_str()),
+                    incumbent_source: Some(o.incumbent_source.as_str().to_string()),
                     solved: Some((o.assignment, o.cost, o.optimal)),
                 },
                 SolveStatus::Infeasible { nodes } | SolveStatus::Unknown { nodes } => {
@@ -298,41 +343,51 @@ impl Mechanism {
         }
     }
 
+    /// The member leaving the VO this round. Errors (instead of
+    /// panicking — a served request must not kill a daemon worker) on
+    /// the degenerate inputs the driver itself never produces: an
+    /// empty member list or an empty reputation tie set.
     fn pick_eviction<R: Rng + ?Sized>(
         &self,
         scenario: &FormationScenario,
         members: &[usize],
         reputation: &crate::reputation::VoReputation,
         rng: &mut R,
-    ) -> usize {
+    ) -> Result<usize> {
+        let empty = CoreError::EmptyVo { context: "eviction from an empty VO" };
         match self.eviction {
             EvictionPolicy::LowestReputation => {
                 let lows = reputation.lowest_members();
-                lows[rng.gen_range(0..lows.len())]
+                if lows.is_empty() {
+                    return Err(CoreError::EmptyVo { context: "no lowest-reputation member" });
+                }
+                Ok(lows[rng.gen_range(0..lows.len())])
             }
-            EvictionPolicy::UniformRandom => members[rng.gen_range(0..members.len())],
+            EvictionPolicy::UniformRandom => {
+                if members.is_empty() {
+                    return Err(empty);
+                }
+                Ok(members[rng.gen_range(0..members.len())])
+            }
             EvictionPolicy::HighestCost => {
                 let inst = scenario.instance();
-                *members
+                members
                     .iter()
                     .max_by(|&&a, &&b| {
                         let ca: f64 = (0..inst.tasks()).map(|t| inst.cost(t, a)).sum();
                         let cb: f64 = (0..inst.tasks()).map(|t| inst.cost(t, b)).sum();
-                        ca.partial_cmp(&cb).expect("finite costs")
+                        ca.total_cmp(&cb)
                     })
-                    .expect("members non-empty")
+                    .copied()
+                    .ok_or(empty)
             }
             EvictionPolicy::LowestSpeed => {
                 let gsps = scenario.gsps();
-                *members
+                members
                     .iter()
-                    .min_by(|&&a, &&b| {
-                        gsps[a]
-                            .speed_gflops
-                            .partial_cmp(&gsps[b].speed_gflops)
-                            .expect("finite speeds")
-                    })
-                    .expect("members non-empty")
+                    .min_by(|&&a, &&b| gsps[a].speed_gflops.total_cmp(&gsps[b].speed_gflops))
+                    .copied()
+                    .ok_or(empty)
             }
         }
     }
@@ -345,7 +400,7 @@ impl Mechanism {
                 SelectionRule::MaxReputation => v.avg_reputation,
             }
         };
-        vos.iter().max_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite keys"))
+        vos.iter().max_by(|a, b| key(a).total_cmp(&key(b)))
     }
 }
 

@@ -47,10 +47,7 @@ impl MergeSplitOutcome {
     /// the VO that would execute the program, comparable to TVOF's
     /// selection.
     pub fn best_coalition<G: CharacteristicFn + ?Sized>(&self, game: &G) -> Option<Coalition> {
-        self.partition
-            .iter()
-            .copied()
-            .max_by(|&a, &b| share(game, a).partial_cmp(&share(game, b)).expect("finite"))
+        self.partition.iter().copied().max_by(|&a, &b| share(game, a).total_cmp(&share(game, b)))
     }
 }
 
@@ -146,7 +143,7 @@ fn find_split<G: CharacteristicFn + ?Sized>(
         let sc = share(game, c);
         // enumerate bipartitions: subsets containing the lowest member
         // (avoids the (A,B)/(B,A) double count and the empty side)
-        let lowest = c.members().next().expect("non-empty");
+        let Some(lowest) = c.members().next() else { continue }; // len ≥ 2 above
         for a in c.subsets() {
             if a.is_empty() || a == c || !a.contains(lowest) {
                 continue;

@@ -93,20 +93,26 @@ pub struct FormationOutcome {
 impl FormationOutcome {
     /// The best payoff share over `L` (what Fig. 1 reports).
     pub fn best_payoff_share(&self) -> Option<f64> {
-        self.feasible_vos
-            .iter()
-            .map(|v| v.payoff_share)
-            .max_by(|a, b| a.partial_cmp(b).expect("finite payoffs"))
+        self.feasible_vos.iter().map(|v| v.payoff_share).max_by(|a, b| a.total_cmp(b))
     }
 
     /// The VO in `L` with the highest payoff × reputation product
     /// (Fig. 4's comparison VO).
     pub fn best_product_vo(&self) -> Option<&VoRecord> {
-        self.feasible_vos.iter().max_by(|a, b| {
-            a.payoff_reputation_product()
-                .partial_cmp(&b.payoff_reputation_product())
-                .expect("finite products")
-        })
+        self.feasible_vos
+            .iter()
+            .max_by(|a, b| a.payoff_reputation_product().total_cmp(&b.payoff_reputation_product()))
+    }
+
+    /// Zero every wall-clock timing field, leaving only the
+    /// deterministic content. Served responses are canonicalized this
+    /// way so identical requests are byte-identical (and cache replays
+    /// indistinguishable from fresh solves).
+    pub fn zero_timings(&mut self) {
+        self.total_seconds = 0.0;
+        for it in &mut self.iterations {
+            it.solve_seconds = 0.0;
+        }
     }
 }
 

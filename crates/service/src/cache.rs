@@ -1,0 +1,137 @@
+//! The daemon's shared solve cache.
+//!
+//! A bounded FIFO memo table behind an `Arc<Mutex<…>>`, implementing
+//! [`SolveCache`] so worker threads can hand it straight to
+//! [`gridvo_core::Mechanism::run_cached`]. Hit / miss counters feed
+//! the metrics snapshot's cache hit rate.
+//!
+//! Correctness needs no invalidation logic: the key
+//! ([`gridvo_core::solve_cache::solve_key`]) is a content hash of the
+//! full solver input, so any registry mutation that changes what a
+//! solve *means* (costs, times, membership) changes the key, while
+//! trust-only mutations — which the solver never sees — keep every
+//! entry valid. The capacity bound exists purely to bound memory.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use gridvo_core::solve_cache::{CachedSolve, SolveCache};
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<u64, CachedSolve>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u64>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cache counters for the metrics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A clonable handle to the shared memo table (clones share storage).
+#[derive(Debug, Clone)]
+pub struct SharedSolveCache {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl SharedSolveCache {
+    /// A cache holding at most `capacity` solves (0 disables caching:
+    /// every lookup misses and nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        SharedSolveCache { inner: Arc::new(Mutex::new(Inner { capacity, ..Inner::default() })) }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        CacheStats { hits: inner.hits, misses: inner.misses, entries: inner.map.len() }
+    }
+}
+
+impl SolveCache for SharedSolveCache {
+    fn lookup(&mut self, key: u64) -> Option<CachedSolve> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        match inner.map.get(&key).cloned() {
+            Some(v) => {
+                inner.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn store(&mut self, key: u64, value: &CachedSolve) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        if inner.capacity == 0 {
+            return;
+        }
+        if inner.map.insert(key, value.clone()).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > inner.capacity {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(nodes: u64) -> CachedSolve {
+        CachedSolve { solved: None, nodes, incumbent_source: None }
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut c = SharedSolveCache::new(8);
+        assert!(c.lookup(1).is_none());
+        c.store(1, &entry(5));
+        assert_eq!(c.lookup(1).unwrap().nodes, 5);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let mut a = SharedSolveCache::new(8);
+        let mut b = a.clone();
+        a.store(9, &entry(1));
+        assert!(b.lookup(9).is_some());
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let mut c = SharedSolveCache::new(2);
+        c.store(1, &entry(1));
+        c.store(2, &entry(2));
+        c.store(3, &entry(3));
+        assert_eq!(c.stats().entries, 2);
+        assert!(c.lookup(1).is_none(), "oldest entry evicted first");
+        assert!(c.lookup(2).is_some());
+        assert!(c.lookup(3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut c = SharedSolveCache::new(0);
+        c.store(1, &entry(1));
+        assert!(c.lookup(1).is_none());
+        assert_eq!(c.stats().entries, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The blocking client library.
+//!
+//! One [`ServiceClient`] is one TCP connection; requests are written
+//! as single JSON lines and the matching response line is read back
+//! before the next request goes out (the protocol is strictly
+//! request/response in order). Used by `gridvo request`, the
+//! differential tests, and the `service_sweep` bench — all three
+//! speak to the daemon exclusively through this type, so the wire
+//! format has exactly one implementation on each side.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use gridvo_core::FaultPlan;
+
+use crate::metrics::MetricsSnapshot;
+use crate::protocol::{decode, encode, MechanismKind, Request, Response};
+use crate::registry::RegistrySnapshot;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or broke mid-request.
+    Io(std::io::Error),
+    /// The server closed the connection before replying.
+    ServerClosed,
+    /// The response line did not parse.
+    Protocol(String),
+    /// The server answered with a different kind than the request
+    /// implies (e.g. `form` answered with `ack`). Boxed: a full
+    /// `Response` can carry a formation trace, and an `Err` that
+    /// large bloats every `Result` on the happy path.
+    UnexpectedResponse(Box<Response>),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::ServerClosed => write!(f, "server closed the connection"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::UnexpectedResponse(r) => {
+                write!(f, "unexpected response kind {:?}", r.kind())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected protocol client.
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connect to a daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(ServiceClient { reader: BufReader::new(stream), writer })
+    }
+
+    /// Send one request and read its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut wire = encode(request);
+        wire.push('\n');
+        self.writer.write_all(wire.as_bytes())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::ServerClosed);
+        }
+        decode(line.trim()).map_err(ClientError::Protocol)
+    }
+
+    /// Run a formation and return the raw response (which may be
+    /// `Busy` / `DeadlineExceeded` under load).
+    pub fn form(
+        &mut self,
+        seed: u64,
+        mechanism: MechanismKind,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        self.request(&Request::Form { seed, mechanism, deadline_ms })
+    }
+
+    /// Run a formation + execution and return the raw response.
+    pub fn execute(
+        &mut self,
+        seed: u64,
+        mechanism: MechanismKind,
+        faults: FaultPlan,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        self.request(&Request::Execute { seed, mechanism, faults, deadline_ms })
+    }
+
+    /// Fetch the metrics snapshot.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { snapshot } => Ok(snapshot),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Fetch the registry snapshot.
+    pub fn registry(&mut self) -> Result<RegistrySnapshot, ClientError> {
+        match self.request(&Request::Registry)? {
+            Response::Registry { snapshot } => Ok(snapshot),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Report direct trust `u_{from,to} = value`; returns the new
+    /// registry epoch.
+    pub fn report_trust(&mut self, from: usize, to: usize, value: f64) -> Result<u64, ClientError> {
+        match self.request(&Request::ReportTrust { from, to, value })? {
+            Response::Ack { epoch, .. } => Ok(epoch),
+            Response::Error { message } => Err(ClientError::Protocol(message)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Add a provider; returns `(id, epoch)`.
+    pub fn add_gsp(
+        &mut self,
+        speed_gflops: f64,
+        cost: Vec<f64>,
+        time: Vec<f64>,
+    ) -> Result<(usize, u64), ClientError> {
+        match self.request(&Request::AddGsp { speed_gflops, cost, time })? {
+            Response::Ack { epoch, id: Some(id) } => Ok((id, epoch)),
+            Response::Error { message } => Err(ClientError::Protocol(message)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Remove a provider; returns the new epoch.
+    pub fn remove_gsp(&mut self, id: usize) -> Result<u64, ClientError> {
+        match self.request(&Request::RemoveGsp { id })? {
+            Response::Ack { epoch, .. } => Ok(epoch),
+            Response::Error { message } => Err(ClientError::Protocol(message)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Queue-routed no-op holding a worker for `sleep_ms`.
+    pub fn ping(&mut self, sleep_ms: u64) -> Result<Response, ClientError> {
+        self.request(&Request::Ping { sleep_ms })
+    }
+}

@@ -1,0 +1,107 @@
+//! # gridvo-service
+//!
+//! The request-driven face of the mechanism: a long-running daemon
+//! that owns a live pool of GSPs and serves VO-formation / execution
+//! requests over a newline-delimited-JSON protocol on a loopback
+//! `std::net::TcpListener`.
+//!
+//! Everything the one-shot `gridvo form` / `gridvo execute` commands
+//! do in a single process run is re-cast as a request against durable
+//! server state:
+//!
+//! * [`registry::GspRegistry`] — the provider pool: add/remove GSPs,
+//!   ingest direct-trust reports, each mutation epoch-stamped into an
+//!   event log, with the pool-wide reputation vector refreshed
+//!   incrementally (power-method warm starts from the previous
+//!   vector);
+//! * [`cache::SharedSolveCache`] — a bounded, shared memo table for
+//!   the per-round exact IP solves, keyed by
+//!   [`gridvo_core::solve_cache::solve_key`]. Repeated or overlapping
+//!   formation requests against an unchanged registry replay
+//!   branch-and-bound results bit-identically; trust-only updates
+//!   invalidate nothing (the key covers solver inputs only);
+//! * [`server`] — a bounded job queue drained by a `std::thread`
+//!   worker pool (rayon stays *inside* solves), with admission
+//!   control: a full queue sheds load with a typed
+//!   [`protocol::Response::Busy`], and a queued request past its
+//!   deadline is answered [`protocol::Response::DeadlineExceeded`]
+//!   instead of being solved;
+//! * [`metrics`] — request counters, cache hit rate, queue depth and
+//!   per-stage latency histograms, all served as a snapshot request;
+//! * [`client::ServiceClient`] — the blocking client library used by
+//!   `gridvo request`, the differential tests and the
+//!   `service_sweep` bench.
+//!
+//! Served results are *canonicalized*: wall-clock timing fields are
+//! zeroed (`zero_timings`) so that identical requests produce
+//! byte-identical responses — the differential test in
+//! `tests/differential.rs` asserts a served formation equals the
+//! direct [`gridvo_core::Mechanism`] call byte for byte, cached or
+//! not.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use cache::SharedSolveCache;
+pub use client::{ClientError, ServiceClient};
+pub use metrics::MetricsSnapshot;
+pub use protocol::{MechanismKind, Request, Response};
+pub use registry::{GspRegistry, RegistrySnapshot};
+pub use server::{ServerConfig, ServerHandle};
+
+/// Errors from registry operations and request handling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// A GSP id not present in the registry.
+    UnknownGsp {
+        /// The offending id.
+        id: usize,
+    },
+    /// Removing this GSP would empty the pool.
+    LastGsp,
+    /// A per-task column had the wrong length or a non-finite entry.
+    BadColumn {
+        /// What was malformed.
+        context: &'static str,
+    },
+    /// The trust substrate rejected an update.
+    Trust(gridvo_trust::TrustError),
+    /// The mechanism / solver substrate failed.
+    Core(gridvo_core::CoreError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownGsp { id } => write!(f, "unknown GSP id {id}"),
+            ServiceError::LastGsp => write!(f, "cannot remove the last GSP"),
+            ServiceError::BadColumn { context } => write!(f, "bad per-task column: {context}"),
+            ServiceError::Trust(e) => write!(f, "trust error: {e}"),
+            ServiceError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<gridvo_trust::TrustError> for ServiceError {
+    fn from(e: gridvo_trust::TrustError) -> Self {
+        ServiceError::Trust(e)
+    }
+}
+
+impl From<gridvo_core::CoreError> for ServiceError {
+    fn from(e: gridvo_core::CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServiceError>;

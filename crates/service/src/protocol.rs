@@ -1,0 +1,398 @@
+//! The wire protocol: newline-delimited JSON over loopback TCP.
+//!
+//! One request per line, one response line per request, in order.
+//! Requests are tagged with `"op"`, responses with `"kind"`; both are
+//! plain JSON objects so any language (or `nc`) can speak the
+//! protocol. The enums carry manual `Serialize` / `Deserialize`
+//! impls because the vendored serde derive only covers named-field
+//! structs.
+//!
+//! Responses embedding mechanism results ([`Response::Form`],
+//! [`Response::Execute`]) carry timing-zeroed payloads (see
+//! [`gridvo_core::FormationOutcome::zero_timings`]) — the server
+//! canonicalizes before serializing so identical requests are
+//! byte-identical, cached or not.
+
+use gridvo_core::{ExecutionReport, FaultPlan, FormationOutcome};
+use serde::{de_field, Deserialize, Error, Serialize, Value};
+
+use crate::metrics::MetricsSnapshot;
+use crate::registry::RegistrySnapshot;
+
+/// Which formation mechanism a request runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MechanismKind {
+    /// Reputation-guided eviction (the paper's mechanism).
+    #[default]
+    Tvof,
+    /// Random eviction (the paper's baseline).
+    Rvof,
+}
+
+impl MechanismKind {
+    /// Wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MechanismKind::Tvof => "tvof",
+            MechanismKind::Rvof => "rvof",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<MechanismKind> {
+        match s {
+            "tvof" => Some(MechanismKind::Tvof),
+            "rvof" => Some(MechanismKind::Rvof),
+            _ => None,
+        }
+    }
+}
+
+/// A client request. `Form`, `Execute` and `Ping` go through the
+/// bounded job queue (and are subject to admission control); the
+/// registry and snapshot operations are answered inline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run Algorithm 1 against the current registry state.
+    Form {
+        /// RNG seed (eviction tie-breaks); same seed → same trace.
+        seed: u64,
+        /// TVOF or RVOF.
+        mechanism: MechanismKind,
+        /// Per-request deadline override (ms); `None` uses the
+        /// server's default.
+        deadline_ms: Option<u64>,
+    },
+    /// Run Algorithm 1, then execute the selected VO against a fault
+    /// plan.
+    Execute {
+        /// RNG seed, as in `Form`.
+        seed: u64,
+        /// TVOF or RVOF.
+        mechanism: MechanismKind,
+        /// The fault schedule to replay (empty = fault-free).
+        faults: FaultPlan,
+        /// Per-request deadline override (ms).
+        deadline_ms: Option<u64>,
+    },
+    /// A new provider joins: speed plus its per-task cost/time columns.
+    AddGsp {
+        /// Aggregate speed in GFLOPS.
+        speed_gflops: f64,
+        /// Per-task execution costs (length = task count).
+        cost: Vec<f64>,
+        /// Per-task execution times (length = task count).
+        time: Vec<f64>,
+    },
+    /// A provider leaves the pool.
+    RemoveGsp {
+        /// Its current id.
+        id: usize,
+    },
+    /// A direct-trust report `u_{from,to} = value`.
+    ReportTrust {
+        /// Reporting GSP.
+        from: usize,
+        /// Reported-on GSP.
+        to: usize,
+        /// New direct-trust weight (≥ 0, finite).
+        value: f64,
+    },
+    /// Fetch the registry snapshot.
+    Registry,
+    /// Fetch the metrics snapshot.
+    Metrics,
+    /// A queue-routed no-op that holds a worker for `sleep_ms` —
+    /// exists so tests and the bench can exercise admission control
+    /// deterministically.
+    Ping {
+        /// How long the worker sleeps before replying.
+        sleep_ms: u64,
+    },
+}
+
+impl Request {
+    /// The request's `"op"` tag (also the metrics counter key).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Form { .. } => "form",
+            Request::Execute { .. } => "execute",
+            Request::AddGsp { .. } => "add_gsp",
+            Request::RemoveGsp { .. } => "remove_gsp",
+            Request::ReportTrust { .. } => "report_trust",
+            Request::Registry => "registry",
+            Request::Metrics => "metrics",
+            Request::Ping { .. } => "ping",
+        }
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> =
+            vec![("op".to_string(), Value::Str(self.op().to_string()))];
+        match self {
+            Request::Form { seed, mechanism, deadline_ms } => {
+                fields.push(("seed".to_string(), seed.to_value()));
+                fields.push(("mechanism".to_string(), Value::Str(mechanism.as_str().to_string())));
+                fields.push(("deadline_ms".to_string(), deadline_ms.to_value()));
+            }
+            Request::Execute { seed, mechanism, faults, deadline_ms } => {
+                fields.push(("seed".to_string(), seed.to_value()));
+                fields.push(("mechanism".to_string(), Value::Str(mechanism.as_str().to_string())));
+                fields.push(("faults".to_string(), faults.to_value()));
+                fields.push(("deadline_ms".to_string(), deadline_ms.to_value()));
+            }
+            Request::AddGsp { speed_gflops, cost, time } => {
+                fields.push(("speed_gflops".to_string(), speed_gflops.to_value()));
+                fields.push(("cost".to_string(), cost.to_value()));
+                fields.push(("time".to_string(), time.to_value()));
+            }
+            Request::RemoveGsp { id } => fields.push(("id".to_string(), id.to_value())),
+            Request::ReportTrust { from, to, value } => {
+                fields.push(("from".to_string(), from.to_value()));
+                fields.push(("to".to_string(), to.to_value()));
+                fields.push(("value".to_string(), value.to_value()));
+            }
+            Request::Registry | Request::Metrics => {}
+            Request::Ping { sleep_ms } => {
+                fields.push(("sleep_ms".to_string(), sleep_ms.to_value()));
+            }
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> std::result::Result<Self, Error> {
+        let op: String = de_field(v, "op")?;
+        let mechanism = |v: &Value| -> std::result::Result<MechanismKind, Error> {
+            match de_field::<Option<String>>(v, "mechanism")? {
+                None => Ok(MechanismKind::default()),
+                Some(name) => MechanismKind::parse(&name)
+                    .ok_or_else(|| Error::custom(format!("unknown mechanism {name:?}"))),
+            }
+        };
+        match op.as_str() {
+            "form" => Ok(Request::Form {
+                seed: de_field(v, "seed")?,
+                mechanism: mechanism(v)?,
+                deadline_ms: de_field(v, "deadline_ms")?,
+            }),
+            "execute" => Ok(Request::Execute {
+                seed: de_field(v, "seed")?,
+                mechanism: mechanism(v)?,
+                faults: de_field(v, "faults")?,
+                deadline_ms: de_field(v, "deadline_ms")?,
+            }),
+            "add_gsp" => Ok(Request::AddGsp {
+                speed_gflops: de_field(v, "speed_gflops")?,
+                cost: de_field(v, "cost")?,
+                time: de_field(v, "time")?,
+            }),
+            "remove_gsp" => Ok(Request::RemoveGsp { id: de_field(v, "id")? }),
+            "report_trust" => Ok(Request::ReportTrust {
+                from: de_field(v, "from")?,
+                to: de_field(v, "to")?,
+                value: de_field(v, "value")?,
+            }),
+            "registry" => Ok(Request::Registry),
+            "metrics" => Ok(Request::Metrics),
+            "ping" => Ok(Request::Ping { sleep_ms: de_field(v, "sleep_ms")? }),
+            other => Err(Error::custom(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+/// A server response, tagged with `"kind"`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Formation result (timings zeroed).
+    Form {
+        /// The full Algorithm-1 trace and selection.
+        outcome: FormationOutcome,
+    },
+    /// Formation + execution result (timings zeroed). `report` is
+    /// `None` when no feasible VO existed to execute.
+    Execute {
+        /// The formation trace.
+        outcome: FormationOutcome,
+        /// The execution telemetry, if a VO was selected.
+        report: Option<ExecutionReport>,
+    },
+    /// A registry mutation succeeded.
+    Ack {
+        /// Registry epoch after the mutation.
+        epoch: u64,
+        /// New GSP id, for `add_gsp`.
+        id: Option<usize>,
+    },
+    /// Registry snapshot.
+    Registry {
+        /// The current pool state.
+        snapshot: RegistrySnapshot,
+    },
+    /// Metrics snapshot.
+    Metrics {
+        /// The current counters.
+        snapshot: MetricsSnapshot,
+    },
+    /// Reply to `Ping`.
+    Pong,
+    /// Load shed: the job queue was full. Retry later.
+    Busy,
+    /// The request waited in the queue past its deadline and was
+    /// dropped without being served.
+    DeadlineExceeded,
+    /// The request was understood but failed.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The response's `"kind"` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::Form { .. } => "form",
+            Response::Execute { .. } => "execute",
+            Response::Ack { .. } => "ack",
+            Response::Registry { .. } => "registry",
+            Response::Metrics { .. } => "metrics",
+            Response::Pong => "pong",
+            Response::Busy => "busy",
+            Response::DeadlineExceeded => "deadline_exceeded",
+            Response::Error { .. } => "error",
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> =
+            vec![("kind".to_string(), Value::Str(self.kind().to_string()))];
+        match self {
+            Response::Form { outcome } => {
+                fields.push(("outcome".to_string(), outcome.to_value()));
+            }
+            Response::Execute { outcome, report } => {
+                fields.push(("outcome".to_string(), outcome.to_value()));
+                fields.push(("report".to_string(), report.to_value()));
+            }
+            Response::Ack { epoch, id } => {
+                fields.push(("epoch".to_string(), epoch.to_value()));
+                fields.push(("id".to_string(), id.to_value()));
+            }
+            Response::Registry { snapshot } => {
+                fields.push(("snapshot".to_string(), snapshot.to_value()));
+            }
+            Response::Metrics { snapshot } => {
+                fields.push(("snapshot".to_string(), snapshot.to_value()));
+            }
+            Response::Pong | Response::Busy | Response::DeadlineExceeded => {}
+            Response::Error { message } => {
+                fields.push(("message".to_string(), Value::Str(message.clone())));
+            }
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(v: &Value) -> std::result::Result<Self, Error> {
+        let kind: String = de_field(v, "kind")?;
+        match kind.as_str() {
+            "form" => Ok(Response::Form { outcome: de_field(v, "outcome")? }),
+            "execute" => Ok(Response::Execute {
+                outcome: de_field(v, "outcome")?,
+                report: de_field(v, "report")?,
+            }),
+            "ack" => Ok(Response::Ack { epoch: de_field(v, "epoch")?, id: de_field(v, "id")? }),
+            "registry" => Ok(Response::Registry { snapshot: de_field(v, "snapshot")? }),
+            "metrics" => Ok(Response::Metrics { snapshot: de_field(v, "snapshot")? }),
+            "pong" => Ok(Response::Pong),
+            "busy" => Ok(Response::Busy),
+            "deadline_exceeded" => Ok(Response::DeadlineExceeded),
+            "error" => Ok(Response::Error { message: de_field(v, "message")? }),
+            other => Err(Error::custom(format!("unknown response kind {other:?}"))),
+        }
+    }
+}
+
+/// Serialize a protocol message as one wire line (no trailing
+/// newline; the transport appends it).
+pub fn encode<T: Serialize>(msg: &T) -> String {
+    serde_json::to_string(msg).unwrap_or_else(|_| "{}".to_string())
+}
+
+/// Parse one wire line.
+pub fn decode<T: Deserialize>(line: &str) -> std::result::Result<T, String> {
+    serde_json::from_str(line).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridvo_core::{FaultEvent, FaultKind};
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Form { seed: 7, mechanism: MechanismKind::Rvof, deadline_ms: Some(250) },
+            Request::Execute {
+                seed: 1,
+                mechanism: MechanismKind::Tvof,
+                faults: FaultPlan::new(vec![FaultEvent {
+                    round: 0,
+                    gsp: 2,
+                    kind: FaultKind::Crash,
+                }]),
+                deadline_ms: None,
+            },
+            Request::AddGsp { speed_gflops: 99.5, cost: vec![1.0, 2.0], time: vec![0.5, 0.25] },
+            Request::RemoveGsp { id: 3 },
+            Request::ReportTrust { from: 0, to: 1, value: 0.8 },
+            Request::Registry,
+            Request::Metrics,
+            Request::Ping { sleep_ms: 15 },
+        ];
+        for req in reqs {
+            let line = encode(&req);
+            assert!(!line.contains('\n'), "wire lines must be single-line");
+            let back: Request = decode(&line).unwrap();
+            assert_eq!(req, back, "round trip failed for {line}");
+        }
+    }
+
+    #[test]
+    fn form_defaults_mechanism_to_tvof() {
+        let req: Request = decode(r#"{"op":"form","seed":3}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Form { seed: 3, mechanism: MechanismKind::Tvof, deadline_ms: None }
+        );
+    }
+
+    #[test]
+    fn unknown_ops_are_typed_errors() {
+        assert!(decode::<Request>(r#"{"op":"fly"}"#).is_err());
+        assert!(decode::<Request>(r#"{"seed":3}"#).is_err());
+        assert!(decode::<Request>("not json").is_err());
+        assert!(decode::<Response>(r#"{"kind":"nope"}"#).is_err());
+    }
+
+    #[test]
+    fn terse_responses_round_trip() {
+        for resp in [
+            Response::Pong,
+            Response::Busy,
+            Response::DeadlineExceeded,
+            Response::Error { message: "queue exploded".to_string() },
+            Response::Ack { epoch: 4, id: Some(2) },
+        ] {
+            let back: Response = decode(&encode(&resp)).unwrap();
+            assert_eq!(resp, back);
+        }
+    }
+}

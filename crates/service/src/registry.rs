@@ -1,0 +1,414 @@
+//! The live GSP pool a daemon serves requests against.
+//!
+//! A [`GspRegistry`] is a [`FormationScenario`] made mutable: the set
+//! of providers, the trust graph over them, and the per-task cost /
+//! time columns evolve between requests. Every mutation bumps a
+//! monotone **epoch** and appends to an event log, so clients can
+//! correlate responses with the registry state that produced them.
+//!
+//! Ids are **compacting positions**: GSP `k` is column `k` of the
+//! matrices and node `k` of the trust graph. Removing a GSP shifts
+//! the ids above it down by one (the response to a removal reports
+//! the new epoch; the event log records the removal).
+//!
+//! The pool-wide reputation vector is refreshed **incrementally**:
+//! each recompute warm-starts [`ReputationEngine::compute_with_start`]
+//! from the previous vector (restricted to the survivors after a
+//! removal), so a single trust report costs a handful of power
+//! iterations instead of a cold solve.
+
+use gridvo_core::reputation::ReputationEngine;
+use gridvo_core::{FormationScenario, Gsp};
+use gridvo_solver::AssignmentInstance;
+use gridvo_trust::TrustGraph;
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, ServiceError};
+
+/// One epoch-stamped registry mutation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistryEvent {
+    /// Epoch the mutation produced (the first mutation is epoch 1).
+    pub epoch: u64,
+    /// Operation name: `"add_gsp"`, `"remove_gsp"` or `"report_trust"`.
+    pub op: String,
+    /// The GSP the operation targeted (the new id for additions, the
+    /// removed id for removals, the *reporting* GSP for trust reports).
+    pub gsp: Option<usize>,
+    /// The reported-on GSP for trust reports.
+    pub to: Option<usize>,
+    /// The reported trust value, when applicable.
+    pub value: Option<f64>,
+}
+
+/// A serializable view of the registry for `registry` requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Current epoch (number of mutations since bootstrap).
+    pub epoch: u64,
+    /// Number of GSPs in the pool.
+    pub gsps: usize,
+    /// Number of tasks in the standing program.
+    pub tasks: usize,
+    /// Pool-wide reputation scores, aligned with GSP ids.
+    pub reputation: Vec<f64>,
+    /// Power-method iterations the last refresh needed (warm starts
+    /// show up as small numbers here).
+    pub power_iterations: usize,
+    /// Total mutations logged.
+    pub events: usize,
+}
+
+/// The mutable provider pool. See the module docs.
+#[derive(Debug, Clone)]
+pub struct GspRegistry {
+    gsps: Vec<Gsp>,
+    trust: TrustGraph,
+    /// `tasks × m` row-major cost matrix.
+    cost: Vec<f64>,
+    /// `tasks × m` row-major time matrix.
+    time: Vec<f64>,
+    tasks: usize,
+    deadline: f64,
+    payment: f64,
+    epoch: u64,
+    events: Vec<RegistryEvent>,
+    engine: ReputationEngine,
+    /// Last pool-wide reputation vector (aligned with `gsps`); the
+    /// warm start of the next refresh.
+    reputation: Vec<f64>,
+    power_iterations: usize,
+}
+
+impl GspRegistry {
+    /// Bootstrap a registry from a scenario (the `gridvo serve`
+    /// startup path: scenario file or `gridvo-sim` generation).
+    pub fn from_scenario(scenario: &FormationScenario, engine: ReputationEngine) -> Result<Self> {
+        let inst = scenario.instance();
+        let (tasks, m) = (inst.tasks(), inst.gsps());
+        let mut cost = Vec::with_capacity(tasks * m);
+        let mut time = Vec::with_capacity(tasks * m);
+        for t in 0..tasks {
+            cost.extend_from_slice(inst.cost_row(t));
+            time.extend_from_slice(inst.time_row(t));
+        }
+        let mut reg = GspRegistry {
+            gsps: scenario.gsps().to_vec(),
+            trust: scenario.trust().clone(),
+            cost,
+            time,
+            tasks,
+            deadline: inst.deadline(),
+            payment: inst.payment(),
+            epoch: 0,
+            events: Vec::new(),
+            engine,
+            reputation: Vec::new(),
+            power_iterations: 0,
+        };
+        reg.refresh_reputation()?;
+        Ok(reg)
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of GSPs in the pool.
+    pub fn gsp_count(&self) -> usize {
+        self.gsps.len()
+    }
+
+    /// The event log, oldest first.
+    pub fn events(&self) -> &[RegistryEvent] {
+        &self.events
+    }
+
+    /// Pool-wide reputation scores, aligned with GSP ids.
+    pub fn reputation(&self) -> &[f64] {
+        &self.reputation
+    }
+
+    /// Join the pool: a new GSP with its per-task cost and time
+    /// columns (length = task count, finite and positive). It enters
+    /// with no trust edges — reputation accrues from later reports.
+    /// Returns `(new id, new epoch)`.
+    pub fn add_gsp(
+        &mut self,
+        speed_gflops: f64,
+        cost: &[f64],
+        time: &[f64],
+    ) -> Result<(usize, u64)> {
+        if !speed_gflops.is_finite() || speed_gflops <= 0.0 {
+            return Err(ServiceError::BadColumn { context: "speed must be finite and positive" });
+        }
+        if cost.len() != self.tasks || time.len() != self.tasks {
+            return Err(ServiceError::BadColumn { context: "column length != task count" });
+        }
+        if cost.iter().chain(time.iter()).any(|v| !v.is_finite() || *v <= 0.0) {
+            return Err(ServiceError::BadColumn { context: "entries must be finite and positive" });
+        }
+        let m = self.gsps.len();
+        // Grow the trust graph by one isolated node (copy all edges).
+        let mut grown = TrustGraph::new(m + 1);
+        for (i, j, w) in self.trust.edges() {
+            grown.try_set_trust(i, j, w)?;
+        }
+        self.trust = grown;
+        // Splice the new column into the row-major matrices.
+        let mut new_cost = Vec::with_capacity(self.tasks * (m + 1));
+        let mut new_time = Vec::with_capacity(self.tasks * (m + 1));
+        for t in 0..self.tasks {
+            new_cost.extend_from_slice(&self.cost[t * m..(t + 1) * m]);
+            new_cost.push(cost[t]);
+            new_time.extend_from_slice(&self.time[t * m..(t + 1) * m]);
+            new_time.push(time[t]);
+        }
+        self.cost = new_cost;
+        self.time = new_time;
+        let id = m;
+        self.gsps.push(Gsp::new(id, speed_gflops));
+        self.epoch += 1;
+        self.events.push(RegistryEvent {
+            epoch: self.epoch,
+            op: "add_gsp".to_string(),
+            gsp: Some(id),
+            to: None,
+            value: None,
+        });
+        // The warm start no longer matches the pool size; the refresh
+        // falls back to a cold solve for this one recompute.
+        self.reputation.clear();
+        self.refresh_reputation()?;
+        Ok((id, self.epoch))
+    }
+
+    /// Leave the pool. Ids above `id` shift down by one (compacting
+    /// positional ids). Refuses to empty the pool. Returns the new
+    /// epoch.
+    pub fn remove_gsp(&mut self, id: usize) -> Result<u64> {
+        if id >= self.gsps.len() {
+            return Err(ServiceError::UnknownGsp { id });
+        }
+        if self.gsps.len() == 1 {
+            return Err(ServiceError::LastGsp);
+        }
+        let m = self.gsps.len();
+        let (trust, survivors) = self.trust.remove_node(id)?;
+        self.trust = trust;
+        let keep = |row: &[f64]| -> Vec<f64> {
+            row.iter().enumerate().filter(|&(g, _)| g != id).map(|(_, &v)| v).collect()
+        };
+        let mut new_cost = Vec::with_capacity(self.tasks * (m - 1));
+        let mut new_time = Vec::with_capacity(self.tasks * (m - 1));
+        for t in 0..self.tasks {
+            new_cost.extend(keep(&self.cost[t * m..(t + 1) * m]));
+            new_time.extend(keep(&self.time[t * m..(t + 1) * m]));
+        }
+        self.cost = new_cost;
+        self.time = new_time;
+        // Reassign compacted ids and carry the survivors' scores as
+        // the next refresh's warm start.
+        let prev = std::mem::take(&mut self.reputation);
+        self.reputation = survivors.iter().filter_map(|&old| prev.get(old).copied()).collect();
+        self.gsps.remove(id);
+        for (k, g) in self.gsps.iter_mut().enumerate() {
+            g.id = k;
+        }
+        self.epoch += 1;
+        self.events.push(RegistryEvent {
+            epoch: self.epoch,
+            op: "remove_gsp".to_string(),
+            gsp: Some(id),
+            to: None,
+            value: None,
+        });
+        self.refresh_reputation()?;
+        Ok(self.epoch)
+    }
+
+    /// Ingest a direct-trust report `u_{from,to} = value`. Returns the
+    /// new epoch. The reputation refresh warm-starts from the previous
+    /// vector — for small perturbations this converges in a few power
+    /// iterations.
+    pub fn report_trust(&mut self, from: usize, to: usize, value: f64) -> Result<u64> {
+        self.trust.try_set_trust(from, to, value)?;
+        self.epoch += 1;
+        self.events.push(RegistryEvent {
+            epoch: self.epoch,
+            op: "report_trust".to_string(),
+            gsp: Some(from),
+            to: Some(to),
+            value: Some(value),
+        });
+        self.refresh_reputation()?;
+        Ok(self.epoch)
+    }
+
+    /// Materialize the current pool as an immutable scenario — what a
+    /// formation / execution request actually runs against. Cheap
+    /// relative to a solve (one matrix clone).
+    pub fn scenario(&self) -> Result<FormationScenario> {
+        let inst = AssignmentInstance::new(
+            self.tasks,
+            self.gsps.len(),
+            self.cost.clone(),
+            self.time.clone(),
+            self.deadline,
+            self.payment,
+        )
+        .map_err(gridvo_core::CoreError::from)?;
+        Ok(FormationScenario::new(self.gsps.clone(), self.trust.clone(), inst)?)
+    }
+
+    /// A serializable view for `registry` requests.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            epoch: self.epoch,
+            gsps: self.gsps.len(),
+            tasks: self.tasks,
+            reputation: self.reputation.clone(),
+            power_iterations: self.power_iterations,
+            events: self.events.len(),
+        }
+    }
+
+    fn refresh_reputation(&mut self) -> Result<()> {
+        let members: Vec<usize> = (0..self.gsps.len()).collect();
+        let start = if self.reputation.len() == members.len() {
+            Some(self.reputation.as_slice())
+        } else {
+            None
+        };
+        let rep = self.engine.compute_with_start(&self.trust, &members, start)?;
+        self.reputation = rep.scores;
+        self.power_iterations = rep.iterations;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> GspRegistry {
+        let gsps = vec![Gsp::new(0, 100.0), Gsp::new(1, 80.0), Gsp::new(2, 60.0)];
+        let mut trust = TrustGraph::new(3);
+        for i in 0..3usize {
+            for j in 0..3usize {
+                if i != j {
+                    trust.set_trust(i, j, 0.5);
+                }
+            }
+        }
+        let inst =
+            AssignmentInstance::new(4, 3, vec![1.0; 12], vec![1.0; 12], 10.0, 100.0).unwrap();
+        let scenario = FormationScenario::new(gsps, trust, inst).unwrap();
+        GspRegistry::from_scenario(&scenario, ReputationEngine::default()).unwrap()
+    }
+
+    #[test]
+    fn bootstrap_computes_reputation_at_epoch_zero() {
+        let reg = registry();
+        assert_eq!(reg.epoch(), 0);
+        assert_eq!(reg.reputation().len(), 3);
+        assert!(reg.events().is_empty());
+        let snap = reg.snapshot();
+        assert_eq!(snap.gsps, 3);
+        assert_eq!(snap.tasks, 4);
+    }
+
+    #[test]
+    fn trust_report_bumps_epoch_and_logs() {
+        let mut reg = registry();
+        let before = reg.reputation().to_vec();
+        let epoch = reg.report_trust(0, 2, 1.0).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(reg.events().len(), 1);
+        assert_eq!(reg.events()[0].op, "report_trust");
+        // GSP 2 is now more trusted than before.
+        assert!(reg.reputation()[2] > before[2]);
+    }
+
+    #[test]
+    fn trust_report_rejects_bad_input() {
+        let mut reg = registry();
+        assert!(matches!(reg.report_trust(0, 9, 0.5), Err(ServiceError::Trust(_))));
+        assert!(matches!(reg.report_trust(0, 1, -1.0), Err(ServiceError::Trust(_))));
+        assert_eq!(reg.epoch(), 0, "failed mutations must not bump the epoch");
+    }
+
+    #[test]
+    fn add_gsp_grows_everything_consistently() {
+        let mut reg = registry();
+        let (id, epoch) = reg.add_gsp(90.0, &[2.0; 4], &[1.5; 4]).unwrap();
+        assert_eq!((id, epoch), (3, 1));
+        assert_eq!(reg.gsp_count(), 4);
+        assert_eq!(reg.reputation().len(), 4);
+        let s = reg.scenario().unwrap();
+        assert_eq!(s.gsp_count(), 4);
+        assert_eq!(s.instance().cost(0, 3), 2.0);
+        assert_eq!(s.instance().time(2, 3), 1.5);
+        // Pre-existing trust survived the graph growth.
+        assert_eq!(s.trust().trust(0, 1), 0.5);
+        assert_eq!(s.trust().trust(0, 3), 0.0);
+    }
+
+    #[test]
+    fn add_gsp_validates_columns() {
+        let mut reg = registry();
+        assert!(reg.add_gsp(90.0, &[1.0; 3], &[1.0; 4]).is_err());
+        assert!(reg.add_gsp(90.0, &[1.0, 1.0, f64::NAN, 1.0], &[1.0; 4]).is_err());
+        assert!(reg.add_gsp(-5.0, &[1.0; 4], &[1.0; 4]).is_err());
+        assert_eq!(reg.epoch(), 0);
+    }
+
+    #[test]
+    fn remove_gsp_compacts_ids() {
+        let mut reg = registry();
+        reg.report_trust(0, 2, 0.9).unwrap();
+        let epoch = reg.remove_gsp(1).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(reg.gsp_count(), 2);
+        let s = reg.scenario().unwrap();
+        // Old GSP 2 is now id 1 and keeps its incoming trust.
+        assert_eq!(s.trust().trust(0, 1), 0.9);
+        assert_eq!(s.gsps()[1].id, 1);
+        assert!((s.gsps()[1].speed_gflops - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_refuses_to_empty_the_pool() {
+        let mut reg = registry();
+        reg.remove_gsp(0).unwrap();
+        reg.remove_gsp(0).unwrap();
+        assert!(matches!(reg.remove_gsp(0), Err(ServiceError::LastGsp)));
+        assert!(matches!(reg.remove_gsp(7), Err(ServiceError::UnknownGsp { id: 7 })));
+    }
+
+    #[test]
+    fn scenario_round_trips_the_bootstrap_input() {
+        // With no mutations, the materialized scenario must equal the
+        // bootstrap scenario (the differential tests depend on this).
+        let gsps = vec![Gsp::new(0, 100.0), Gsp::new(1, 80.0)];
+        let mut trust = TrustGraph::new(2);
+        trust.set_trust(0, 1, 0.7);
+        trust.set_trust(1, 0, 0.3);
+        let inst = AssignmentInstance::new(
+            3,
+            2,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            vec![1.0; 6],
+            10.0,
+            50.0,
+        )
+        .unwrap();
+        let scenario = FormationScenario::new(gsps, trust, inst).unwrap();
+        let reg = GspRegistry::from_scenario(&scenario, ReputationEngine::default()).unwrap();
+        let back = reg.scenario().unwrap();
+        assert_eq!(back.instance().canonical_hash(), scenario.instance().canonical_hash());
+        assert_eq!(back.trust().weight_matrix(), scenario.trust().weight_matrix());
+        assert_eq!(back.gsps(), scenario.gsps());
+    }
+}

@@ -1,0 +1,407 @@
+//! The daemon: listener, connection threads, bounded job queue, and
+//! the worker pool.
+//!
+//! ## Thread model
+//!
+//! * **Listener** — polls a non-blocking `TcpListener` (loopback),
+//!   spawning one connection thread per accepted client. Polling
+//!   (rather than a blocking `accept`) lets shutdown work without a
+//!   self-connect trick.
+//! * **Connection threads** — read one JSON line at a time.
+//!   Registry mutations and snapshot reads are answered inline (they
+//!   take microseconds under the registry lock). Solve-bearing
+//!   requests (`form`, `execute`, `ping`) are enqueued for the worker
+//!   pool and the connection blocks on a per-job channel for the
+//!   reply — so one slow client never ties up a worker with I/O.
+//! * **Workers** — `workers` threads popping the bounded queue
+//!   (Mutex + Condvar). Rayon parallelism stays *inside* a solve
+//!   ([`gridvo_solver::parallel`]); the pool is the only place
+//!   request-level concurrency happens.
+//!
+//! ## Admission control
+//!
+//! A request arriving at a full queue is answered [`Response::Busy`]
+//! immediately — the queue bound is the daemon's backpressure, chosen
+//! at startup. A request that a worker dequeues after its deadline
+//! (per-request `deadline_ms`, defaulting to the server's) is dropped
+//! with [`Response::DeadlineExceeded`] *without* being solved: under
+//! overload, stale work is shed instead of amplified.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use gridvo_core::mechanism::{FormationConfig, Mechanism};
+use gridvo_core::{FaultPlan, FormationScenario};
+use rand::SeedableRng;
+
+use crate::cache::SharedSolveCache;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::protocol::{decode, encode, MechanismKind, Request, Response};
+use crate::registry::GspRegistry;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Job-queue bound; a full queue sheds load with `Busy`.
+    pub queue_capacity: usize,
+    /// Solve-cache capacity (entries); 0 disables caching.
+    pub cache_capacity: usize,
+    /// Default per-request deadline in ms; 0 means no deadline.
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 4096,
+            default_deadline_ms: 0,
+        }
+    }
+}
+
+/// One queued solve-bearing request.
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    deadline: Option<Duration>,
+    reply: mpsc::Sender<Response>,
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    registry: Mutex<GspRegistry>,
+    cache: SharedSolveCache,
+    metrics: Metrics,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    queue_capacity: usize,
+    default_deadline: Option<Duration>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.cache.stats())
+    }
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaves detached threads running until
+/// process exit; tests and the CLI always shut down explicitly.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Bind and start a daemon serving `scenario`'s provider pool.
+    pub fn spawn(scenario: &FormationScenario, config: ServerConfig) -> std::io::Result<Self> {
+        let registry = GspRegistry::from_scenario(scenario, FormationConfig::default().reputation)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            registry: Mutex::new(registry),
+            cache: SharedSolveCache::new(config.cache_capacity),
+            metrics: Metrics::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_capacity: config.queue_capacity.max(1),
+            default_deadline: match config.default_deadline_ms {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            },
+            shutdown: AtomicBool::new(false),
+        });
+
+        let mut threads = Vec::new();
+        for _ in 0..config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || listener_loop(listener, &shared)));
+        }
+        Ok(ServerHandle { addr, shared, threads })
+    }
+
+    /// The bound address (`127.0.0.1:<port>`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current metrics, straight from shared state (no request).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics_snapshot()
+    }
+
+    /// Stop accepting, drain nothing further, and join every thread.
+    /// Queued-but-unserved jobs are answered `Busy`.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        for t in self.threads {
+            let _ = t.join();
+        }
+        // Flush any jobs the workers never picked up.
+        let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
+        while let Some(job) = queue.pop_front() {
+            let _ = job.reply.send(Response::Busy);
+        }
+    }
+}
+
+fn listener_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                connections.push(std::thread::spawn(move || connection_loop(stream, &shared)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+        connections.retain(|c| !c.is_finished());
+    }
+    for c in connections {
+        let _ = c.join();
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    // Short read timeout so the thread notices shutdown while idle.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match decode::<Request>(line.trim()) {
+            Ok(request) => {
+                shared.metrics.request_received(request.op());
+                dispatch(request, shared)
+            }
+            Err(e) => {
+                shared.metrics.request_errored();
+                Response::Error { message: format!("bad request: {e}") }
+            }
+        };
+        let mut wire = encode(&response);
+        wire.push('\n');
+        if writer.write_all(wire.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Route one request: inline for registry/snapshot ops, queued for
+/// solve-bearing ops.
+fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
+    match request {
+        Request::AddGsp { speed_gflops, cost, time } => {
+            let mut reg = shared.registry.lock().expect("registry lock poisoned");
+            match reg.add_gsp(speed_gflops, &cost, &time) {
+                Ok((id, epoch)) => Response::Ack { epoch, id: Some(id) },
+                Err(e) => error_response(shared, e.to_string()),
+            }
+        }
+        Request::RemoveGsp { id } => {
+            let mut reg = shared.registry.lock().expect("registry lock poisoned");
+            match reg.remove_gsp(id) {
+                Ok(epoch) => Response::Ack { epoch, id: None },
+                Err(e) => error_response(shared, e.to_string()),
+            }
+        }
+        Request::ReportTrust { from, to, value } => {
+            let mut reg = shared.registry.lock().expect("registry lock poisoned");
+            match reg.report_trust(from, to, value) {
+                Ok(epoch) => Response::Ack { epoch, id: None },
+                Err(e) => error_response(shared, e.to_string()),
+            }
+        }
+        Request::Registry => {
+            let reg = shared.registry.lock().expect("registry lock poisoned");
+            Response::Registry { snapshot: reg.snapshot() }
+        }
+        Request::Metrics => Response::Metrics { snapshot: shared.metrics_snapshot() },
+        queued @ (Request::Form { .. } | Request::Execute { .. } | Request::Ping { .. }) => {
+            enqueue_and_wait(queued, shared)
+        }
+    }
+}
+
+fn error_response(shared: &Arc<Shared>, message: String) -> Response {
+    shared.metrics.request_errored();
+    Response::Error { message }
+}
+
+fn enqueue_and_wait(request: Request, shared: &Arc<Shared>) -> Response {
+    let deadline = match &request {
+        Request::Form { deadline_ms, .. } | Request::Execute { deadline_ms, .. } => {
+            deadline_ms.map(Duration::from_millis).or(shared.default_deadline)
+        }
+        _ => shared.default_deadline,
+    };
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut queue = shared.queue.lock().expect("queue lock poisoned");
+        if queue.len() >= shared.queue_capacity {
+            shared.metrics.busy_rejected();
+            return Response::Busy;
+        }
+        queue.push_back(Job { request, enqueued: Instant::now(), deadline, reply: tx });
+        shared.metrics.set_queue_depth(queue.len());
+    }
+    shared.queue_cv.notify_one();
+    // The worker (or shutdown flush) always sends exactly one reply.
+    rx.recv().unwrap_or(Response::Busy)
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared.metrics.set_queue_depth(queue.len());
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (q, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("queue lock poisoned");
+                queue = q;
+            }
+        };
+        let waited = job.enqueued.elapsed();
+        shared.metrics.record_queue_wait_ms(waited.as_secs_f64() * 1e3);
+        if let Some(deadline) = job.deadline {
+            if waited > deadline {
+                shared.metrics.deadline_rejected();
+                let _ = job.reply.send(Response::DeadlineExceeded);
+                continue;
+            }
+        }
+        let served_at = Instant::now();
+        let response = serve(job.request, shared);
+        shared.metrics.record_service_ms(served_at.elapsed().as_secs_f64() * 1e3);
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Execute one dequeued job. Solves run against a point-in-time clone
+/// of the registry's scenario, so the registry lock is held only for
+/// the clone — mutations interleave freely with long solves.
+fn serve(request: Request, shared: &Arc<Shared>) -> Response {
+    match request {
+        Request::Ping { sleep_ms } => {
+            std::thread::sleep(Duration::from_millis(sleep_ms));
+            Response::Pong
+        }
+        Request::Form { seed, mechanism, .. } => match run_formation(shared, seed, mechanism) {
+            Ok((outcome, _)) => Response::Form { outcome },
+            Err(message) => error_response(shared, message),
+        },
+        Request::Execute { seed, mechanism, faults, .. } => {
+            match run_execution(shared, seed, mechanism, &faults) {
+                Ok((outcome, report)) => Response::Execute { outcome, report },
+                Err(message) => error_response(shared, message),
+            }
+        }
+        other => error_response(shared, format!("op {:?} is not queueable", other.op())),
+    }
+}
+
+fn mechanism_for(kind: MechanismKind) -> Mechanism {
+    match kind {
+        MechanismKind::Tvof => Mechanism::tvof(FormationConfig::default()),
+        MechanismKind::Rvof => Mechanism::rvof(FormationConfig::default()),
+    }
+}
+
+type Formed = (gridvo_core::FormationOutcome, FormationScenario);
+
+fn run_formation(
+    shared: &Arc<Shared>,
+    seed: u64,
+    kind: MechanismKind,
+) -> std::result::Result<Formed, String> {
+    let scenario = {
+        let reg = shared.registry.lock().expect("registry lock poisoned");
+        reg.scenario().map_err(|e| e.to_string())?
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut cache = shared.cache.clone();
+    let mut outcome = mechanism_for(kind)
+        .run_cached(&scenario, &mut rng, &mut cache)
+        .map_err(|e| e.to_string())?;
+    outcome.zero_timings();
+    Ok((outcome, scenario))
+}
+
+fn run_execution(
+    shared: &Arc<Shared>,
+    seed: u64,
+    kind: MechanismKind,
+    faults: &FaultPlan,
+) -> std::result::Result<
+    (gridvo_core::FormationOutcome, Option<gridvo_core::ExecutionReport>),
+    String,
+> {
+    let (outcome, scenario) = run_formation(shared, seed, kind)?;
+    let report = match &outcome.selected {
+        Some(vo) => {
+            let mut report =
+                mechanism_for(kind).execute(&scenario, vo, faults).map_err(|e| e.to_string())?;
+            report.zero_timings();
+            Some(report)
+        }
+        None => None,
+    };
+    Ok((outcome, report))
+}

@@ -51,9 +51,7 @@ impl BoundTables {
         let min_time: Vec<f64> = (0..n).map(|t| inst.min_time(t)).collect();
 
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            min_time[b].partial_cmp(&min_time[a]).expect("finite times").then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| min_time[b].total_cmp(&min_time[a]).then(a.cmp(&b)));
 
         let mut suffix_min_cost = vec![0.0; n + 1];
         let mut suffix_min_time = vec![0.0; n + 1];
@@ -78,9 +76,7 @@ impl BoundTables {
         let mut scratch: Vec<u16> = (0..k as u16).collect();
         for t in 0..n {
             let row = inst.cost_row(t);
-            scratch.sort_by(|&a, &b| {
-                row[a as usize].partial_cmp(&row[b as usize]).expect("finite costs")
-            });
+            scratch.sort_by(|&a, &b| row[a as usize].total_cmp(&row[b as usize]));
             child_order.extend_from_slice(&scratch);
         }
 

@@ -60,7 +60,7 @@ pub fn repair_after_eviction(
     // Largest orphans first (by their fastest possible execution time):
     // they constrain the packing most, so place them while slack lasts.
     let min_time = |t: usize| (0..k).map(|g| inst.time(t, g)).fold(f64::INFINITY, f64::min);
-    orphans.sort_by(|&a, &b| min_time(b).partial_cmp(&min_time(a)).expect("finite times"));
+    orphans.sort_by(|&a, &b| min_time(b).total_cmp(&min_time(a)));
     for t in orphans {
         let mut best: Option<(usize, f64)> = None;
         #[allow(clippy::needless_range_loop)] // g indexes loads and the instance
