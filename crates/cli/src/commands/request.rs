@@ -14,7 +14,7 @@ ops:
   execute       --seed S [--plan plan.json] [--mechanism tvof|rvof]
                 [--deadline-ms D] [--out f.json]
   metrics       [--out f.json]
-  registry      [--out f.json]
+  registry      [--json] [--out f.json]
   report-trust  --from I --to J --value V
   add-gsp       --speed S --cost c1,c2,.. --time t1,t2,..
   remove-gsp    --id I
@@ -46,7 +46,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "id",
             "sleep-ms",
         ],
-        &[],
+        &["json"],
     )
     .map_err(|e| if e == "help" { HELP.to_string() } else { e })?;
     let addr = flags.require("addr")?;
@@ -86,14 +86,22 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         }
         "registry" => {
             let snapshot = client.registry().map_err(|e| e.to_string())?;
-            println!(
-                "epoch {}: {} GSPs, {} tasks, {} logged events, last refresh {} power iteration(s)",
-                snapshot.epoch,
-                snapshot.gsps,
-                snapshot.tasks,
-                snapshot.events,
-                snapshot.power_iterations,
-            );
+            if flags.has("json") {
+                // Raw snapshot JSON on stdout, for scripts (`--out`
+                // still writes the same document to a file).
+                let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
+                println!("{json}");
+            } else {
+                println!(
+                    "epoch {}: {} GSPs, {} tasks, {} logged events, last refresh {} power \
+                     iteration(s)",
+                    snapshot.epoch,
+                    snapshot.gsps,
+                    snapshot.tasks,
+                    snapshot.events,
+                    snapshot.power_iterations,
+                );
+            }
             maybe_out(&flags, &snapshot)
         }
         "report-trust" => {

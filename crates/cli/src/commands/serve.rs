@@ -5,15 +5,17 @@ use std::sync::Arc;
 
 use crate::args::Flags;
 use crate::commands::load_scenario;
-use gridvo_service::{ServerConfig, ServerHandle};
+use gridvo_service::{PersistConfig, ServerConfig, ServerHandle};
 use gridvo_sim::instance_gen::ScenarioGenerator;
 use gridvo_sim::TableI;
+use gridvo_store::FsyncPolicy;
 use rand::SeedableRng;
 
 const HELP: &str = "\
 usage: gridvo serve [--scenario FILE | --tasks N --gsps M --seed S]
                     [--addr 127.0.0.1:0] [--workers W] [--queue Q]
                     [--cache C] [--deadline-ms D]
+                    [--data-dir DIR] [--fsync POLICY] [--compact-bytes B]
 
 Starts the long-running VO-formation daemon on a loopback TCP port,
 serving the newline-delimited-JSON protocol (see `gridvo request`).
@@ -26,7 +28,19 @@ down cleanly (exit 0).
   --workers      worker threads draining the job queue (default 2)
   --queue        job-queue bound; beyond it requests get Busy (default 64)
   --cache        solve-cache capacity in entries, 0 disables (default 4096)
-  --deadline-ms  default per-request deadline, 0 = none (default 0)";
+  --deadline-ms  default per-request deadline, 0 = none (default 0)
+
+Durability (off by default — without --data-dir the registry lives
+purely in memory):
+
+  --data-dir       journal registry mutations here; a non-empty
+                   directory is recovered from, and then wins over
+                   --scenario / generation
+  --fsync          per-event | per-epoch | per-epoch=N | off
+                   (default per-epoch: one fdatasync per 32-epoch
+                   durability window)
+  --compact-bytes  journal size triggering snapshot+truncate
+                   compaction (default 1048576)";
 
 /// SIGTERM flag, set by a minimal C-ABI handler. The daemon's main
 /// loop polls it; no async-signal-unsafe work happens in the handler.
@@ -74,7 +88,20 @@ fn stdin_is_pipe() -> bool {
 pub fn run(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(
         argv,
-        &["scenario", "tasks", "gsps", "seed", "addr", "workers", "queue", "cache", "deadline-ms"],
+        &[
+            "scenario",
+            "tasks",
+            "gsps",
+            "seed",
+            "addr",
+            "workers",
+            "queue",
+            "cache",
+            "deadline-ms",
+            "data-dir",
+            "fsync",
+            "compact-bytes",
+        ],
         &[],
     )
     .map_err(|e| if e == "help" { HELP.to_string() } else { e })?;
@@ -96,23 +123,48 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         }
     };
 
+    let persistence = match flags.get("data-dir") {
+        None => {
+            for durability_only in ["fsync", "compact-bytes"] {
+                if flags.get(durability_only).is_some() {
+                    return Err(format!("--{durability_only} requires --data-dir"));
+                }
+            }
+            None
+        }
+        Some(dir) => {
+            let mut persist = PersistConfig::new(dir);
+            if let Some(policy) = flags.get("fsync") {
+                persist.fsync = FsyncPolicy::parse(policy).ok_or_else(|| {
+                    format!(
+                        "invalid --fsync {policy:?} (per-event | per-epoch | per-epoch=N | off)"
+                    )
+                })?;
+            }
+            persist.compact_bytes = flags.num("compact-bytes", persist.compact_bytes)?;
+            Some(persist)
+        }
+    };
+
     let config = ServerConfig {
         addr: flags.get("addr").unwrap_or("127.0.0.1:0").to_string(),
         workers: flags.num("workers", 2)?,
         queue_capacity: flags.num("queue", 64)?,
         cache_capacity: flags.num("cache", 4096)?,
         default_deadline_ms: flags.num("deadline-ms", 0)?,
+        persistence,
     };
     let handle =
         ServerHandle::spawn(&scenario, config).map_err(|e| format!("cannot start daemon: {e}"))?;
 
     // The e2e test and scripts parse this exact line for the port.
     println!("listening on {}", handle.addr());
-    println!(
-        "pool: {} GSPs, {} tasks; shutdown on SIGTERM or stdin close",
-        scenario.gsp_count(),
-        scenario.task_count()
-    );
+    // The crash-injection harness parses this line for the epoch.
+    if let Some(epoch) = handle.recovered_epoch() {
+        println!("recovered registry at epoch {epoch}");
+    }
+    let pool = handle.registry_snapshot();
+    println!("pool: {} GSPs, {} tasks; shutdown on SIGTERM or stdin close", pool.gsps, pool.tasks);
     use std::io::Write;
     std::io::stdout().flush().ok();
 

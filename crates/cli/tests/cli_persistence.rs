@@ -1,0 +1,238 @@
+//! Crash-injection e2e: SIGKILL the durable daemon mid-mutation-storm
+//! and truncate its journal at arbitrary byte offsets; every recovery
+//! must come back byte-identical to an in-memory daemon fed the same
+//! deterministic mutation prefix.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gridvo_service::ServiceClient;
+
+fn gridvo() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gridvo"))
+}
+
+/// Spawn the daemon on the fixed test scenario and block until it
+/// prints its bound address; also returns the `recovered registry at
+/// epoch N` value when the banner carries one.
+fn spawn_daemon(extra: &[&str]) -> (Child, BufReader<ChildStdout>, String, Option<u64>) {
+    let mut child = gridvo()
+        .args(["serve", "--tasks", "12", "--gsps", "4", "--seed", "7", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("daemon announces its port");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .to_string();
+    line.clear();
+    reader.read_line(&mut line).expect("daemon prints its pool banner");
+    let recovered = line
+        .trim()
+        .strip_prefix("recovered registry at epoch ")
+        .map(|n| n.parse().expect("recovery banner carries an integer epoch"));
+    (child, reader, addr, recovered)
+}
+
+fn shutdown(mut child: Child) {
+    drop(child.stdin.take());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if child.try_wait().expect("try_wait works").is_some() {
+            return;
+        }
+        if Instant::now() > deadline {
+            child.kill().ok();
+            panic!("daemon did not shut down in time");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command failed: {}\n{}",
+        String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Deterministic mutation stream: mutation `i` is a pure function of
+/// `i`, so "the first N mutations" is replayable on any daemon. The
+/// pool starts at 4 GSPs; each 5-block adds one (making 5) then
+/// removes id 4 (back to 4), so every mutation is valid regardless of
+/// where a crash cuts the stream.
+fn mutate(client: &mut ServiceClient, i: u64) -> Result<u64, gridvo_service::ClientError> {
+    match i % 5 {
+        1 => client
+            .add_gsp(80.0 + i as f64, vec![1.5 + 0.01 * i as f64; 12], vec![0.6; 12])
+            .map(|(_, epoch)| epoch),
+        3 => client.remove_gsp(4),
+        _ => {
+            let value = 0.2 + 0.5 * ((i % 7) as f64 / 7.0);
+            client.report_trust((i % 4) as usize, ((i + 1) % 4) as usize, value)
+        }
+    }
+}
+
+fn registry_json(addr: &str) -> String {
+    run_ok(gridvo().args(["request", "registry", "--addr", addr, "--json"]))
+}
+
+fn form_json(addr: &str, dir: &Path) -> String {
+    let out = dir.join("form.json");
+    run_ok(gridvo().args([
+        "request",
+        "form",
+        "--addr",
+        addr,
+        "--seed",
+        "9",
+        "--out",
+        out.to_str().unwrap(),
+    ]));
+    std::fs::read_to_string(&out).expect("form --out written")
+}
+
+/// Feed mutations `0..n` to a fresh in-memory daemon and capture its
+/// registry + formation bytes: the recovery oracle.
+fn uninterrupted_bytes(n: u64, scratch: &Path) -> (String, String) {
+    let (child, _reader, addr, recovered) = spawn_daemon(&[]);
+    assert_eq!(recovered, None, "in-memory daemon must not print a recovery banner");
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    for i in 0..n {
+        mutate(&mut client, i).expect("mutation valid by construction");
+    }
+    let bytes = (registry_json(&addr), form_json(&addr, scratch));
+    drop(client);
+    shutdown(child);
+    bytes
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gridvo-crash-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[cfg(unix)]
+#[test]
+fn sigkill_mid_storm_recovers_every_acknowledged_mutation() {
+    let scratch = scratch_dir("sigkill");
+    let data_dir = scratch.join("data");
+    let durable_flags =
+        ["--data-dir", data_dir.to_str().unwrap(), "--fsync", "per-epoch=4"].to_vec();
+
+    // Hammer the durable daemon from a thread, then SIGKILL it
+    // mid-stream.
+    let (mut child, _reader, addr, recovered) = spawn_daemon(&durable_flags);
+    assert_eq!(recovered, None, "fresh data dir must bootstrap, not recover");
+    let last_acked = Arc::new(AtomicU64::new(0));
+    let hammer = {
+        let addr = addr.clone();
+        let last_acked = Arc::clone(&last_acked);
+        std::thread::spawn(move || {
+            let mut client = ServiceClient::connect(&addr).expect("connect");
+            for i in 0..400 {
+                match mutate(&mut client, i) {
+                    Ok(epoch) => last_acked.store(epoch, Ordering::SeqCst),
+                    Err(_) => break, // the kill landed
+                }
+            }
+        })
+    };
+    std::thread::sleep(Duration::from_millis(250));
+    let killed = Command::new("kill")
+        .args(["-9", &child.id().to_string()])
+        .status()
+        .expect("kill runs")
+        .success();
+    assert!(killed, "kill -9 failed");
+    hammer.join().expect("hammer thread exits");
+    child.wait().expect("killed child reaped");
+    let last_acked = last_acked.load(Ordering::SeqCst);
+    assert!(last_acked > 0, "the storm must have landed some mutations before the kill");
+
+    // Recover: every acknowledged mutation must be there (the journal
+    // append happens before the ack), possibly plus in-flight ones
+    // whose ack the kill swallowed.
+    let (child, _reader, addr, recovered) = spawn_daemon(&durable_flags);
+    let epoch = recovered.expect("non-empty data dir must recover");
+    assert!(
+        epoch >= last_acked,
+        "recovered epoch {epoch} lost acknowledged mutations (last ack {last_acked})"
+    );
+    let got_registry = registry_json(&addr);
+    let got_form = form_json(&addr, &scratch);
+    assert!(
+        got_registry.contains(&format!("\"epoch\": {epoch}")),
+        "served registry JSON disagrees with the recovery banner: {got_registry}"
+    );
+    shutdown(child);
+
+    // Differential: an in-memory daemon fed the same first `epoch`
+    // mutations serves byte-identical registry and formation JSON.
+    let (want_registry, want_form) = uninterrupted_bytes(epoch, &scratch);
+    assert_eq!(got_registry, want_registry, "recovered registry diverged from uninterrupted run");
+    assert_eq!(got_form, want_form, "recovered formation diverged from uninterrupted run");
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn truncated_journal_tails_recover_valid_prefixes_end_to_end() {
+    let scratch = scratch_dir("truncate");
+    let data_dir = scratch.join("data");
+    let durable_flags = ["--data-dir", data_dir.to_str().unwrap(), "--fsync", "off"].to_vec();
+
+    // Record a clean run of 25 mutations.
+    let (child, _reader, addr, _) = spawn_daemon(&durable_flags);
+    let mut client = ServiceClient::connect(&addr).expect("connect");
+    for i in 0..25 {
+        mutate(&mut client, i).expect("mutation valid by construction");
+    }
+    drop(client);
+    shutdown(child);
+
+    let journal = data_dir.join("journal.log");
+    let pristine = std::fs::read(&journal).unwrap();
+    assert!(!pristine.is_empty(), "the run must have journaled something");
+
+    // Cut the tail at decreasing offsets — including mid-record — and
+    // re-differential each recovery. Recovery itself truncates the
+    // torn line, so later cuts are taken from the pristine bytes.
+    let mut last_epoch = u64::MAX;
+    for cut in [pristine.len() - 1, pristine.len() / 2, pristine.len() / 5, 0] {
+        std::fs::write(&journal, &pristine[..cut]).unwrap();
+        let (child, _reader, addr, recovered) = spawn_daemon(&durable_flags);
+        let epoch = recovered.expect("bootstrap snapshot survives any truncation");
+        assert!(epoch < last_epoch, "shorter cut {cut} must recover strictly fewer events");
+        last_epoch = epoch;
+        let got_registry = registry_json(&addr);
+        let got_form = form_json(&addr, &scratch);
+        shutdown(child);
+
+        let (want_registry, want_form) = uninterrupted_bytes(epoch, &scratch);
+        assert_eq!(
+            got_registry, want_registry,
+            "cut at {cut} recovered a registry that diverges from the {epoch}-mutation prefix"
+        );
+        assert_eq!(got_form, want_form, "cut at {cut} diverged the served formation");
+    }
+    assert_eq!(last_epoch, 0, "the zero-byte cut recovers the bare bootstrap");
+    let _ = std::fs::remove_dir_all(&scratch);
+}

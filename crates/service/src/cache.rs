@@ -1,9 +1,12 @@
 //! The daemon's shared solve cache.
 //!
-//! A bounded FIFO memo table behind an `Arc<Mutex<…>>`, implementing
-//! [`SolveCache`] so worker threads can hand it straight to
-//! [`gridvo_core::Mechanism::run_cached`]. Hit / miss counters feed
-//! the metrics snapshot's cache hit rate.
+//! A bounded **LRU** memo table behind an `Arc<Mutex<…>>`,
+//! implementing [`SolveCache`] so worker threads can hand it straight
+//! to [`gridvo_core::Mechanism::run_cached`]. Hits and re-stores
+//! refresh an entry's recency, so a standing program's hot solves
+//! survive a churn of one-off requests that plain FIFO would let
+//! evict them. Hit / miss counters feed the metrics snapshot's cache
+//! hit rate.
 //!
 //! Correctness needs no invalidation logic: the key
 //! ([`gridvo_core::solve_cache::solve_key`]) is a content hash of the
@@ -20,11 +23,22 @@ use gridvo_core::solve_cache::{CachedSolve, SolveCache};
 #[derive(Debug, Default)]
 struct Inner {
     map: HashMap<u64, CachedSolve>,
-    /// Insertion order for FIFO eviction.
+    /// Recency order, least-recently-used at the front. Touch cost is
+    /// O(len) — negligible against the solves the cache memoizes.
     order: VecDeque<u64>,
     capacity: usize,
     hits: u64,
     misses: u64,
+}
+
+impl Inner {
+    /// Move `key` to the most-recently-used position.
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(key);
+    }
 }
 
 /// Cache counters for the metrics snapshot.
@@ -64,6 +78,7 @@ impl SolveCache for SharedSolveCache {
         match inner.map.get(&key).cloned() {
             Some(v) => {
                 inner.hits += 1;
+                inner.touch(key);
                 Some(v)
             }
             None => {
@@ -78,12 +93,11 @@ impl SolveCache for SharedSolveCache {
         if inner.capacity == 0 {
             return;
         }
-        if inner.map.insert(key, value.clone()).is_none() {
-            inner.order.push_back(key);
-            while inner.map.len() > inner.capacity {
-                if let Some(old) = inner.order.pop_front() {
-                    inner.map.remove(&old);
-                }
+        inner.map.insert(key, value.clone());
+        inner.touch(key);
+        while inner.map.len() > inner.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.map.remove(&old);
             }
         }
     }
@@ -116,15 +130,39 @@ mod tests {
     }
 
     #[test]
-    fn fifo_eviction_respects_capacity() {
+    fn lru_eviction_respects_capacity() {
         let mut c = SharedSolveCache::new(2);
         c.store(1, &entry(1));
         c.store(2, &entry(2));
         c.store(3, &entry(3));
         assert_eq!(c.stats().entries, 2);
-        assert!(c.lookup(1).is_none(), "oldest entry evicted first");
+        assert!(c.lookup(1).is_none(), "least-recently-used entry evicted first");
         assert!(c.lookup(2).is_some());
         assert!(c.lookup(3).is_some());
+    }
+
+    #[test]
+    fn hits_refresh_recency() {
+        let mut c = SharedSolveCache::new(2);
+        c.store(1, &entry(1));
+        c.store(2, &entry(2));
+        assert!(c.lookup(1).is_some(), "touch 1 so 2 becomes the LRU entry");
+        c.store(3, &entry(3));
+        assert!(c.lookup(2).is_none(), "2 was least recently used");
+        assert!(c.lookup(1).is_some(), "the hit kept 1 resident");
+        assert!(c.lookup(3).is_some());
+    }
+
+    #[test]
+    fn re_stores_refresh_recency() {
+        let mut c = SharedSolveCache::new(2);
+        c.store(1, &entry(1));
+        c.store(2, &entry(2));
+        c.store(1, &entry(10));
+        c.store(3, &entry(3));
+        assert!(c.lookup(2).is_none(), "2 was least recently used after 1's re-store");
+        assert_eq!(c.lookup(1).unwrap().nodes, 10, "re-store replaced the value");
+        assert_eq!(c.stats().entries, 2);
     }
 
     #[test]

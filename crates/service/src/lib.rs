@@ -45,6 +45,7 @@
 pub mod cache;
 pub mod client;
 pub mod metrics;
+pub mod persist;
 pub mod protocol;
 pub mod registry;
 pub mod server;
@@ -52,8 +53,9 @@ pub mod server;
 pub use cache::SharedSolveCache;
 pub use client::{ClientError, ServiceClient};
 pub use metrics::MetricsSnapshot;
+pub use persist::{DurableRegistry, PersistConfig};
 pub use protocol::{MechanismKind, Request, Response};
-pub use registry::{GspRegistry, RegistrySnapshot};
+pub use registry::{GspRegistry, PersistedState, RegistryEvent, RegistrySnapshot};
 pub use server::{ServerConfig, ServerHandle};
 
 /// Errors from registry operations and request handling.
@@ -75,6 +77,10 @@ pub enum ServiceError {
     Trust(gridvo_trust::TrustError),
     /// The mechanism / solver substrate failed.
     Core(gridvo_core::CoreError),
+    /// The durable store failed or holds state inconsistent with the
+    /// journal (message-only: `std::io::Error` is neither `Clone` nor
+    /// `PartialEq`).
+    Storage(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -85,6 +91,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::BadColumn { context } => write!(f, "bad per-task column: {context}"),
             ServiceError::Trust(e) => write!(f, "trust error: {e}"),
             ServiceError::Core(e) => write!(f, "core error: {e}"),
+            ServiceError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -100,6 +107,12 @@ impl From<gridvo_trust::TrustError> for ServiceError {
 impl From<gridvo_core::CoreError> for ServiceError {
     fn from(e: gridvo_core::CoreError) -> Self {
         ServiceError::Core(e)
+    }
+}
+
+impl From<gridvo_store::StoreError> for ServiceError {
+    fn from(e: gridvo_store::StoreError) -> Self {
+        ServiceError::Storage(e.to_string())
     }
 }
 

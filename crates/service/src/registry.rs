@@ -26,6 +26,12 @@ use serde::{Deserialize, Serialize};
 use crate::{Result, ServiceError};
 
 /// One epoch-stamped registry mutation.
+///
+/// Events carry the **full mutation payload** (not just the target
+/// ids) so that a journaled event stream is replayable: applying the
+/// events of an uninterrupted run to the bootstrap state reconstructs
+/// the registry exactly. This is the wire format `gridvo-store`
+/// journals line-by-line; `tests/persistence.rs` locks it down.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RegistryEvent {
     /// Epoch the mutation produced (the first mutation is epoch 1).
@@ -39,6 +45,71 @@ pub struct RegistryEvent {
     pub to: Option<usize>,
     /// The reported trust value, when applicable.
     pub value: Option<f64>,
+    /// The joining GSP's speed, for `add_gsp` events.
+    pub speed_gflops: Option<f64>,
+    /// The joining GSP's per-task cost column, for `add_gsp` events.
+    pub cost: Option<Vec<f64>>,
+    /// The joining GSP's per-task time column, for `add_gsp` events.
+    pub time: Option<Vec<f64>>,
+}
+
+impl RegistryEvent {
+    /// A non-add event (no join payload).
+    fn slim(
+        epoch: u64,
+        op: &str,
+        gsp: Option<usize>,
+        to: Option<usize>,
+        value: Option<f64>,
+    ) -> Self {
+        RegistryEvent {
+            epoch,
+            op: op.to_string(),
+            gsp,
+            to,
+            value,
+            speed_gflops: None,
+            cost: None,
+            time: None,
+        }
+    }
+}
+
+impl gridvo_store::Stamped for RegistryEvent {
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// The registry's complete durable state: what a `gridvo-store`
+/// snapshot holds. Recovery = [`GspRegistry::from_persisted`] on the
+/// newest snapshot, then [`GspRegistry::apply_event`] over the
+/// journal tail — which reproduces the uninterrupted run's state
+/// bit-for-bit, including the warm-start chain of the reputation
+/// refreshes (the snapshot carries the exact reputation vector the
+/// next refresh warm-starts from).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PersistedState {
+    /// Epoch of the last applied mutation.
+    pub epoch: u64,
+    /// The pool as an immutable scenario (GSPs, trust graph, cost and
+    /// time matrices, deadline, payment).
+    pub scenario: FormationScenario,
+    /// Pool-wide reputation vector at `epoch` (the warm start of the
+    /// next refresh — persisting it keeps recovered refreshes on the
+    /// uninterrupted run's warm-start chain).
+    pub reputation: Vec<f64>,
+    /// Power iterations of the refresh that produced `reputation`.
+    pub power_iterations: usize,
+    /// The full event log (kept so a recovered registry's event
+    /// history and counts match the uninterrupted run exactly).
+    pub events: Vec<RegistryEvent>,
+}
+
+impl gridvo_store::Stamped for PersistedState {
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
 }
 
 /// A serializable view of the registry for `registry` requests.
@@ -84,6 +155,35 @@ impl GspRegistry {
     /// Bootstrap a registry from a scenario (the `gridvo serve`
     /// startup path: scenario file or `gridvo-sim` generation).
     pub fn from_scenario(scenario: &FormationScenario, engine: ReputationEngine) -> Result<Self> {
+        let mut reg = Self::from_parts(scenario, engine);
+        reg.refresh_reputation()?;
+        Ok(reg)
+    }
+
+    /// Rebuild a registry from a durable snapshot. Unlike
+    /// [`GspRegistry::from_scenario`] this restores the epoch, event
+    /// log, and the exact reputation vector instead of recomputing
+    /// cold — so subsequent refreshes continue the uninterrupted
+    /// run's warm-start chain bit-for-bit.
+    pub fn from_persisted(state: &PersistedState, engine: ReputationEngine) -> Result<Self> {
+        let mut reg = Self::from_parts(&state.scenario, engine);
+        if state.reputation.len() != reg.gsps.len() {
+            return Err(ServiceError::Storage(format!(
+                "snapshot reputation has {} entries for {} GSPs",
+                state.reputation.len(),
+                reg.gsps.len()
+            )));
+        }
+        reg.epoch = state.epoch;
+        reg.events = state.events.clone();
+        reg.reputation = state.reputation.clone();
+        reg.power_iterations = state.power_iterations;
+        Ok(reg)
+    }
+
+    /// Field extraction shared by the bootstrap paths: everything but
+    /// the reputation state.
+    fn from_parts(scenario: &FormationScenario, engine: ReputationEngine) -> Self {
         let inst = scenario.instance();
         let (tasks, m) = (inst.tasks(), inst.gsps());
         let mut cost = Vec::with_capacity(tasks * m);
@@ -92,7 +192,7 @@ impl GspRegistry {
             cost.extend_from_slice(inst.cost_row(t));
             time.extend_from_slice(inst.time_row(t));
         }
-        let mut reg = GspRegistry {
+        GspRegistry {
             gsps: scenario.gsps().to_vec(),
             trust: scenario.trust().clone(),
             cost,
@@ -105,9 +205,79 @@ impl GspRegistry {
             engine,
             reputation: Vec::new(),
             power_iterations: 0,
-        };
-        reg.refresh_reputation()?;
-        Ok(reg)
+        }
+    }
+
+    /// The registry's complete durable state (what compaction
+    /// snapshots).
+    pub fn persisted_state(&self) -> Result<PersistedState> {
+        Ok(PersistedState {
+            epoch: self.epoch,
+            scenario: self.scenario()?,
+            reputation: self.reputation.clone(),
+            power_iterations: self.power_iterations,
+            events: self.events.clone(),
+        })
+    }
+
+    /// Replay one journaled event. Events at or below the current
+    /// epoch are skipped (idempotent replay); an applied event must
+    /// land exactly on the next epoch, and must reproduce the epoch
+    /// it recorded — anything else means the journal does not match
+    /// the state it is being replayed onto.
+    pub fn apply_event(&mut self, event: &RegistryEvent) -> Result<()> {
+        if event.epoch <= self.epoch {
+            return Ok(());
+        }
+        if event.epoch != self.epoch + 1 {
+            return Err(ServiceError::Storage(format!(
+                "journal gap: event epoch {} after registry epoch {}",
+                event.epoch, self.epoch
+            )));
+        }
+        let replayed = match event.op.as_str() {
+            "add_gsp" => {
+                let (speed, cost, time) = match (&event.speed_gflops, &event.cost, &event.time) {
+                    (Some(s), Some(c), Some(t)) => (*s, c, t),
+                    _ => {
+                        return Err(ServiceError::Storage(format!(
+                            "add_gsp event at epoch {} lacks its join payload",
+                            event.epoch
+                        )))
+                    }
+                };
+                self.add_gsp(speed, cost, time).map(|(_, epoch)| epoch)
+            }
+            "remove_gsp" => {
+                let id = event.gsp.ok_or_else(|| {
+                    ServiceError::Storage(format!(
+                        "remove_gsp event at epoch {} lacks a target id",
+                        event.epoch
+                    ))
+                })?;
+                self.remove_gsp(id)
+            }
+            "report_trust" => {
+                let (from, to, value) = match (event.gsp, event.to, event.value) {
+                    (Some(f), Some(t), Some(v)) => (f, t, v),
+                    _ => {
+                        return Err(ServiceError::Storage(format!(
+                            "report_trust event at epoch {} lacks its payload",
+                            event.epoch
+                        )))
+                    }
+                };
+                self.report_trust(from, to, value)
+            }
+            other => {
+                return Err(ServiceError::Storage(format!(
+                    "unknown journaled op {other:?} at epoch {}",
+                    event.epoch
+                )))
+            }
+        }?;
+        debug_assert_eq!(replayed, event.epoch);
+        Ok(())
     }
 
     /// Current epoch.
@@ -176,6 +346,9 @@ impl GspRegistry {
             gsp: Some(id),
             to: None,
             value: None,
+            speed_gflops: Some(speed_gflops),
+            cost: Some(cost.to_vec()),
+            time: Some(time.to_vec()),
         });
         // The warm start no longer matches the pool size; the refresh
         // falls back to a cold solve for this one recompute.
@@ -217,13 +390,7 @@ impl GspRegistry {
             g.id = k;
         }
         self.epoch += 1;
-        self.events.push(RegistryEvent {
-            epoch: self.epoch,
-            op: "remove_gsp".to_string(),
-            gsp: Some(id),
-            to: None,
-            value: None,
-        });
+        self.events.push(RegistryEvent::slim(self.epoch, "remove_gsp", Some(id), None, None));
         self.refresh_reputation()?;
         Ok(self.epoch)
     }
@@ -235,13 +402,13 @@ impl GspRegistry {
     pub fn report_trust(&mut self, from: usize, to: usize, value: f64) -> Result<u64> {
         self.trust.try_set_trust(from, to, value)?;
         self.epoch += 1;
-        self.events.push(RegistryEvent {
-            epoch: self.epoch,
-            op: "report_trust".to_string(),
-            gsp: Some(from),
-            to: Some(to),
-            value: Some(value),
-        });
+        self.events.push(RegistryEvent::slim(
+            self.epoch,
+            "report_trust",
+            Some(from),
+            Some(to),
+            Some(value),
+        ));
         self.refresh_reputation()?;
         Ok(self.epoch)
     }
@@ -385,6 +552,56 @@ mod tests {
         reg.remove_gsp(0).unwrap();
         assert!(matches!(reg.remove_gsp(0), Err(ServiceError::LastGsp)));
         assert!(matches!(reg.remove_gsp(7), Err(ServiceError::UnknownGsp { id: 7 })));
+    }
+
+    #[test]
+    fn persisted_state_round_trips_through_json() {
+        let mut reg = registry();
+        reg.report_trust(0, 2, 0.9).unwrap();
+        reg.add_gsp(90.0, &[2.0; 4], &[1.5; 4]).unwrap();
+        let json = serde_json::to_string(&reg.persisted_state().unwrap()).unwrap();
+        let back: PersistedState = serde_json::from_str(&json).unwrap();
+        let rebuilt = GspRegistry::from_persisted(&back, ReputationEngine::default()).unwrap();
+        assert_eq!(rebuilt.epoch(), reg.epoch());
+        assert_eq!(rebuilt.events(), reg.events());
+        assert_eq!(rebuilt.reputation(), reg.reputation(), "reputation must survive bit-exactly");
+        assert_eq!(
+            serde_json::to_string(&rebuilt.snapshot()).unwrap(),
+            serde_json::to_string(&reg.snapshot()).unwrap()
+        );
+    }
+
+    #[test]
+    fn replaying_logged_events_rebuilds_the_registry() {
+        let mut reg = registry();
+        let mut replayed = registry();
+        reg.report_trust(0, 2, 0.9).unwrap();
+        reg.add_gsp(90.0, &[2.0; 4], &[1.5; 4]).unwrap();
+        reg.remove_gsp(1).unwrap();
+        reg.report_trust(2, 0, 0.4).unwrap();
+        for ev in reg.events().to_vec() {
+            replayed.apply_event(&ev).unwrap();
+            // Idempotence: re-applying a covered event is a no-op.
+            replayed.apply_event(&ev).unwrap();
+        }
+        assert_eq!(replayed.reputation(), reg.reputation());
+        assert_eq!(replayed.events(), reg.events());
+        assert_eq!(
+            replayed.scenario().unwrap().instance().canonical_hash(),
+            reg.scenario().unwrap().instance().canonical_hash()
+        );
+    }
+
+    #[test]
+    fn journal_gaps_and_missing_payloads_are_typed_errors() {
+        let mut reg = registry();
+        let gap = RegistryEvent::slim(5, "report_trust", Some(0), Some(1), Some(0.5));
+        assert!(matches!(reg.apply_event(&gap), Err(ServiceError::Storage(_))));
+        let bare_add = RegistryEvent::slim(1, "add_gsp", Some(3), None, None);
+        assert!(matches!(reg.apply_event(&bare_add), Err(ServiceError::Storage(_))));
+        let unknown = RegistryEvent::slim(1, "fly", None, None, None);
+        assert!(matches!(reg.apply_event(&unknown), Err(ServiceError::Storage(_))));
+        assert_eq!(reg.epoch(), 0, "failed replays must not mutate the registry");
     }
 
     #[test]

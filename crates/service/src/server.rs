@@ -41,8 +41,8 @@ use rand::SeedableRng;
 
 use crate::cache::SharedSolveCache;
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::persist::{DurableRegistry, PersistConfig};
 use crate::protocol::{decode, encode, MechanismKind, Request, Response};
-use crate::registry::GspRegistry;
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -57,6 +57,10 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Default per-request deadline in ms; 0 means no deadline.
     pub default_deadline_ms: u64,
+    /// Journal registry mutations to this data directory; `None` (the
+    /// default) keeps the registry purely in memory, exactly the
+    /// pre-durability behavior.
+    pub persistence: Option<PersistConfig>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +71,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache_capacity: 4096,
             default_deadline_ms: 0,
+            persistence: None,
         }
     }
 }
@@ -81,7 +86,7 @@ struct Job {
 
 /// State shared by every thread of one server.
 struct Shared {
-    registry: Mutex<GspRegistry>,
+    registry: Mutex<DurableRegistry>,
     cache: SharedSolveCache,
     metrics: Metrics,
     queue: Mutex<VecDeque<Job>>,
@@ -104,13 +109,21 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     threads: Vec<std::thread::JoinHandle<()>>,
+    recovered_epoch: Option<u64>,
 }
 
 impl ServerHandle {
     /// Bind and start a daemon serving `scenario`'s provider pool.
+    /// With [`ServerConfig::persistence`] set and a non-empty data
+    /// directory, the durable state wins over `scenario` — see
+    /// [`DurableRegistry::open`].
     pub fn spawn(scenario: &FormationScenario, config: ServerConfig) -> std::io::Result<Self> {
-        let registry = GspRegistry::from_scenario(scenario, FormationConfig::default().reputation)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        let (registry, recovered_epoch) = DurableRegistry::open(
+            scenario,
+            FormationConfig::default().reputation,
+            config.persistence.as_ref(),
+        )
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -138,12 +151,31 @@ impl ServerHandle {
             let shared = Arc::clone(&shared);
             threads.push(std::thread::spawn(move || listener_loop(listener, &shared)));
         }
-        Ok(ServerHandle { addr, shared, threads })
+        Ok(ServerHandle { addr, shared, threads, recovered_epoch })
     }
 
     /// The bound address (`127.0.0.1:<port>`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The epoch recovered from the data directory at startup:
+    /// `Some(n)` when prior durable state was replayed, `None` for a
+    /// fresh boot (in-memory or empty data directory).
+    pub fn recovered_epoch(&self) -> Option<u64> {
+        self.recovered_epoch
+    }
+
+    /// Journal / snapshot I/O counters, when persistence is on.
+    pub fn store_stats(&self) -> Option<gridvo_store::StoreStats> {
+        self.shared.registry.lock().expect("registry lock poisoned").store_stats()
+    }
+
+    /// A point-in-time view of the served registry (the recovered
+    /// pool when persistence kicked in, not necessarily the spawn
+    /// scenario).
+    pub fn registry_snapshot(&self) -> crate::registry::RegistrySnapshot {
+        self.shared.registry.lock().expect("registry lock poisoned").registry().snapshot()
     }
 
     /// The current metrics, straight from shared state (no request).
@@ -263,7 +295,7 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
         }
         Request::Registry => {
             let reg = shared.registry.lock().expect("registry lock poisoned");
-            Response::Registry { snapshot: reg.snapshot() }
+            Response::Registry { snapshot: reg.registry().snapshot() }
         }
         Request::Metrics => Response::Metrics { snapshot: shared.metrics_snapshot() },
         queued @ (Request::Form { .. } | Request::Execute { .. } | Request::Ping { .. }) => {
@@ -373,7 +405,7 @@ fn run_formation(
 ) -> std::result::Result<Formed, String> {
     let scenario = {
         let reg = shared.registry.lock().expect("registry lock poisoned");
-        reg.scenario().map_err(|e| e.to_string())?
+        reg.registry().scenario().map_err(|e| e.to_string())?
     };
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut cache = shared.cache.clone();

@@ -1,0 +1,162 @@
+//! # gridvo-store
+//!
+//! Durable persistence for long-lived registry state: a write-ahead
+//! **journal** of epoch-stamped events as append-only line-JSON, plus
+//! **snapshot + truncate** compaction once the journal crosses a size
+//! threshold. Recovery reconstructs the exact pre-crash state as
+//! *newest valid snapshot + journal tail*.
+//!
+//! The crate is deliberately generic — it persists any
+//! `Serialize + Deserialize` snapshot/event pair whose types expose a
+//! monotone epoch through [`Stamped`] — so the service layer can feed
+//! it `RegistryEvent`s today and a sharding layer can reuse the same
+//! log as its replication unit later.
+//!
+//! ## Durability contract
+//!
+//! * Every append is `write(2)`n to the journal fd before the caller
+//!   regains control, so an acknowledged event survives **process
+//!   death** (SIGKILL) under every fsync policy — the page cache is
+//!   the kernel's, not the process's.
+//! * Surviving **machine** crashes additionally needs fsync:
+//!   [`FsyncPolicy::PerEvent`] syncs every append,
+//!   [`FsyncPolicy::PerEpoch`] amortizes one sync per durability
+//!   window of `every` epochs, [`FsyncPolicy::Off`] never syncs.
+//! * A torn final line (partial write, arbitrary tail truncation) is
+//!   detected on replay and discarded: recovery always yields a valid
+//!   *prefix* of the event history, never garbage.
+//! * Snapshots are written tmp-file → fsync → rename → dir-fsync, so
+//!   a crash mid-snapshot leaves the previous snapshot authoritative.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod journal;
+pub mod snapshot;
+pub mod store;
+
+pub use journal::Journal;
+pub use store::{Recovered, Store, StoreConfig, StoreStats, DEFAULT_COMPACT_BYTES, JOURNAL_FILE};
+
+/// Types carrying the monotone epoch the store orders and recovers
+/// by: journal events are strictly epoch-increasing, and a snapshot's
+/// epoch is the last event applied to it.
+pub trait Stamped {
+    /// The epoch this event produced / this snapshot reflects.
+    fn epoch(&self) -> u64;
+}
+
+/// When the journal fsyncs (see the crate docs for the contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every appended event: an acknowledged event
+    /// survives machine crashes. The slowest policy.
+    PerEvent,
+    /// `fdatasync` once per durability window of `every` epochs (on
+    /// the appends whose epoch is a multiple of `every`): bounded
+    /// machine-crash exposure at a fraction of the per-event cost.
+    PerEpoch {
+        /// Window size in epochs; must be positive.
+        every: u64,
+    },
+    /// Never fsync: process crashes lose nothing (appends still reach
+    /// the kernel), machine crashes may lose the unsynced suffix.
+    Off,
+}
+
+impl Default for FsyncPolicy {
+    /// The per-epoch window policy: bounded machine-crash exposure at
+    /// a fraction of per-event cost.
+    fn default() -> Self {
+        FsyncPolicy::PerEpoch { every: Self::DEFAULT_EPOCH_WINDOW }
+    }
+}
+
+impl FsyncPolicy {
+    /// Default durability window for `per-epoch`.
+    pub const DEFAULT_EPOCH_WINDOW: u64 = 32;
+
+    /// Parse a CLI spelling: `per-event`, `per-epoch`, `per-epoch=N`,
+    /// or `off`.
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "per-event" => Some(FsyncPolicy::PerEvent),
+            "per-epoch" => Some(FsyncPolicy::PerEpoch { every: Self::DEFAULT_EPOCH_WINDOW }),
+            "off" => Some(FsyncPolicy::Off),
+            other => other
+                .strip_prefix("per-epoch=")
+                .and_then(|n| n.parse().ok())
+                .filter(|&n| n > 0)
+                .map(|every| FsyncPolicy::PerEpoch { every }),
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::PerEvent => write!(f, "per-event"),
+            FsyncPolicy::PerEpoch { every } => write!(f, "per-epoch={every}"),
+            FsyncPolicy::Off => write!(f, "off"),
+        }
+    }
+}
+
+/// Store failures.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem I/O failed.
+    Io(std::io::Error),
+    /// A record failed to serialize (should be unreachable for the
+    /// workspace's derive-backed types).
+    Serde(String),
+    /// The on-disk state is inconsistent beyond torn-tail repair
+    /// (e.g. a journal with no readable snapshot to replay against).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Serde(e) => write!(f, "store serialization error: {e}"),
+            StoreError::Corrupt(e) => write!(f, "store corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsync_policy_parses_cli_spellings() {
+        assert_eq!(FsyncPolicy::parse("per-event"), Some(FsyncPolicy::PerEvent));
+        assert_eq!(FsyncPolicy::parse("off"), Some(FsyncPolicy::Off));
+        assert_eq!(
+            FsyncPolicy::parse("per-epoch"),
+            Some(FsyncPolicy::PerEpoch { every: FsyncPolicy::DEFAULT_EPOCH_WINDOW })
+        );
+        assert_eq!(FsyncPolicy::parse("per-epoch=8"), Some(FsyncPolicy::PerEpoch { every: 8 }));
+        assert_eq!(FsyncPolicy::parse("per-epoch=0"), None);
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn fsync_policy_display_round_trips() {
+        for p in [FsyncPolicy::PerEvent, FsyncPolicy::PerEpoch { every: 5 }, FsyncPolicy::Off] {
+            assert_eq!(FsyncPolicy::parse(&p.to_string()), Some(p));
+        }
+    }
+}

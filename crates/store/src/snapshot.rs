@@ -1,0 +1,160 @@
+//! Snapshot files: the full state at one epoch, written atomically.
+//!
+//! A snapshot is `snapshot-<epoch, zero-padded>.json` so lexical and
+//! numeric order coincide. Writes go tmp-file → fsync → rename →
+//! dir-fsync: a crash at any point leaves either the old or the new
+//! snapshot fully intact, never a half-written one under the real
+//! name. Loading scans newest-first and skips unreadable files, so a
+//! corrupt newest snapshot falls back to its predecessor.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, Stamped, StoreError};
+
+const PREFIX: &str = "snapshot-";
+const SUFFIX: &str = ".json";
+const TMP_NAME: &str = "snapshot.tmp";
+
+/// The on-disk name for a snapshot at `epoch`.
+pub fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("{PREFIX}{epoch:020}{SUFFIX}"))
+}
+
+/// The epoch encoded in a snapshot file name, if it is one.
+fn snapshot_epoch(name: &str) -> Option<u64> {
+    name.strip_prefix(PREFIX)?.strip_suffix(SUFFIX)?.parse().ok()
+}
+
+/// Epochs of every snapshot file in `dir`, newest first.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<u64>> {
+    let mut epochs = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(epoch) = entry.file_name().to_str().and_then(snapshot_epoch) {
+            epochs.push(epoch);
+        }
+    }
+    epochs.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(epochs)
+}
+
+/// Atomically write `state` as the snapshot for its epoch. Returns
+/// the serialized size in bytes.
+pub fn write_snapshot<S: Serialize + Stamped>(dir: &Path, state: &S) -> Result<u64> {
+    let text = serde_json::to_string(state).map_err(|e| StoreError::Serde(e.to_string()))?;
+    let tmp = dir.join(TMP_NAME);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, snapshot_path(dir, state.epoch()))?;
+    sync_dir(dir)?;
+    Ok(text.len() as u64)
+}
+
+/// Load the newest readable snapshot, or `None` when the directory
+/// holds no snapshot files at all. Unreadable snapshots are skipped
+/// (newest-first), so recovery degrades to an older snapshot plus a
+/// longer journal tail rather than failing outright.
+pub fn load_newest<S: Deserialize + Stamped>(dir: &Path) -> Result<Option<S>> {
+    let epochs = list_snapshots(dir)?;
+    let any = !epochs.is_empty();
+    for epoch in epochs {
+        let Ok(text) = std::fs::read_to_string(snapshot_path(dir, epoch)) else { continue };
+        if let Ok(state) = serde_json::from_str::<S>(&text) {
+            if state.epoch() == epoch {
+                return Ok(Some(state));
+            }
+        }
+    }
+    if any {
+        return Err(StoreError::Corrupt("no snapshot file is readable".to_string()));
+    }
+    Ok(None)
+}
+
+/// Best-effort removal of snapshots older than `keep_epoch` (kept
+/// failures are harmless: stale snapshots are skipped on load).
+pub fn prune(dir: &Path, keep_epoch: u64) {
+    if let Ok(epochs) = list_snapshots(dir) {
+        for epoch in epochs {
+            if epoch < keep_epoch {
+                let _ = std::fs::remove_file(snapshot_path(dir, epoch));
+            }
+        }
+    }
+}
+
+/// Fsync the directory so a just-renamed snapshot's directory entry
+/// is durable.
+fn sync_dir(dir: &Path) -> Result<()> {
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct State {
+        epoch: u64,
+        scores: Vec<f64>,
+    }
+
+    impl Stamped for State {
+        fn epoch(&self) -> u64 {
+            self.epoch
+        }
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gridvo-snapshot-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_load_prune_cycle() {
+        let dir = scratch("cycle");
+        assert!(load_newest::<State>(&dir).unwrap().is_none());
+
+        // Bit-sensitive float payload must round-trip exactly.
+        let s1 = State { epoch: 3, scores: vec![0.1 + 0.2, 1.0 / 3.0] };
+        let s2 = State { epoch: 9, scores: vec![f64::MIN_POSITIVE, 0.42424242424242425] };
+        write_snapshot(&dir, &s1).unwrap();
+        write_snapshot(&dir, &s2).unwrap();
+        assert_eq!(list_snapshots(&dir).unwrap(), vec![9, 3]);
+        assert_eq!(load_newest::<State>(&dir).unwrap(), Some(s2.clone()));
+
+        prune(&dir, 9);
+        assert_eq!(list_snapshots(&dir).unwrap(), vec![9]);
+        assert_eq!(load_newest::<State>(&dir).unwrap(), Some(s2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_predecessor() {
+        let dir = scratch("fallback");
+        let old = State { epoch: 2, scores: vec![0.5] };
+        write_snapshot(&dir, &old).unwrap();
+        std::fs::write(snapshot_path(&dir, 7), "{\"epoch\":7,\"scor").unwrap();
+        assert_eq!(load_newest::<State>(&dir).unwrap(), Some(old));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_snapshots_corrupt_is_a_typed_error() {
+        let dir = scratch("corrupt");
+        std::fs::write(snapshot_path(&dir, 1), "nope").unwrap();
+        assert!(matches!(load_newest::<State>(&dir), Err(StoreError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,360 @@
+//! Recovery orchestration over one data directory: snapshot + journal.
+//!
+//! Layout of a data directory:
+//!
+//! ```text
+//! <dir>/journal.log                      append-only event lines
+//! <dir>/snapshot-<epoch padded>.json     full state at <epoch>
+//! ```
+//!
+//! Invariants (checked or re-established on every open):
+//!
+//! 1. A snapshot always exists once the store is bootstrapped — the
+//!    epoch-0 state is snapshotted before the first event is
+//!    journaled, so recovery never needs an out-of-band genesis.
+//! 2. The journal's valid prefix is strictly epoch-increasing;
+//!    recovery replays only events **newer than** the loaded
+//!    snapshot, so a crash between snapshot rename and journal
+//!    truncation (which leaves pre-snapshot events in the log) is
+//!    repaired by the filter, making replay idempotent.
+//! 3. Compaction order is snapshot-then-truncate: the journal is only
+//!    reset after the covering snapshot is durably renamed.
+
+use std::marker::PhantomData;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use crate::journal::Journal;
+use crate::{snapshot, FsyncPolicy, Result, Stamped, StoreError};
+
+/// File name of the journal inside a data directory (stable: the
+/// crash-injection harness truncates it by path).
+pub const JOURNAL_FILE: &str = "journal.log";
+
+/// Default compaction threshold: snapshot + truncate once the journal
+/// exceeds this many bytes.
+pub const DEFAULT_COMPACT_BYTES: u64 = 1 << 20;
+
+/// Where and how to persist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Data directory (created if absent).
+    pub dir: PathBuf,
+    /// Journal fsync policy.
+    pub fsync: FsyncPolicy,
+    /// Journal size that triggers snapshot+truncate compaction;
+    /// `u64::MAX` disables automatic compaction.
+    pub compact_bytes: u64,
+}
+
+impl StoreConfig {
+    /// A config with the default fsync policy (per-epoch) and
+    /// compaction threshold.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::PerEpoch { every: FsyncPolicy::DEFAULT_EPOCH_WINDOW },
+            compact_bytes: DEFAULT_COMPACT_BYTES,
+        }
+    }
+}
+
+/// What [`Store::open`] found on disk: the newest readable snapshot
+/// plus the journal events newer than it, oldest first.
+#[derive(Debug)]
+pub struct Recovered<S, E> {
+    /// The newest readable snapshot state.
+    pub snapshot: S,
+    /// Journal tail to replay on top of it.
+    pub tail: Vec<E>,
+}
+
+/// I/O counters for benchmarking and the metrics surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Events appended through this handle.
+    pub events_appended: u64,
+    /// Journal bytes written through this handle.
+    pub journal_bytes_written: u64,
+    /// Snapshot bytes written through this handle.
+    pub snapshot_bytes_written: u64,
+    /// fsync calls (journal + snapshots) through this handle.
+    pub fsyncs: u64,
+    /// Compactions performed through this handle.
+    pub compactions: u64,
+    /// Current journal length in bytes.
+    pub journal_len: u64,
+}
+
+/// One open data directory. `S` is the snapshot state, `E` the
+/// journaled event type.
+#[derive(Debug)]
+pub struct Store<S, E> {
+    dir: PathBuf,
+    journal: Journal<E>,
+    compact_bytes: u64,
+    snapshot_epoch: u64,
+    events_appended: u64,
+    snapshot_bytes_written: u64,
+    snapshot_fsyncs: u64,
+    compactions: u64,
+    _marker: PhantomData<S>,
+}
+
+impl<S, E> Store<S, E>
+where
+    S: Serialize + Deserialize + Stamped,
+    E: Serialize + Deserialize + Stamped,
+{
+    /// Open a data directory. Returns the store plus, when prior
+    /// state exists, the recovered snapshot and journal tail. A fresh
+    /// directory returns `None` — the caller must [`Store::bootstrap`]
+    /// before appending.
+    pub fn open(config: &StoreConfig) -> Result<(Self, Option<Recovered<S, E>>)> {
+        std::fs::create_dir_all(&config.dir)?;
+        let snap: Option<S> = snapshot::load_newest(&config.dir)?;
+        let (journal, events) = Journal::open(&config.dir.join(JOURNAL_FILE), config.fsync)?;
+        let mut store = Store {
+            dir: config.dir.clone(),
+            journal,
+            compact_bytes: config.compact_bytes.max(1),
+            snapshot_epoch: 0,
+            events_appended: 0,
+            snapshot_bytes_written: 0,
+            snapshot_fsyncs: 0,
+            compactions: 0,
+            _marker: PhantomData,
+        };
+        match snap {
+            None if events.is_empty() => Ok((store, None)),
+            None => Err(StoreError::Corrupt(
+                "journal has events but no snapshot to replay against".to_string(),
+            )),
+            Some(snapshot) => {
+                store.snapshot_epoch = snapshot.epoch();
+                let tail: Vec<E> =
+                    events.into_iter().filter(|e| e.epoch() > snapshot.epoch()).collect();
+                Ok((store, Some(Recovered { snapshot, tail })))
+            }
+        }
+    }
+
+    /// First-boot initialization: durably snapshot the genesis state
+    /// (normally epoch 0) so recovery always has a base to replay
+    /// onto.
+    pub fn bootstrap(&mut self, state: &S) -> Result<()> {
+        self.write_snapshot(state)
+    }
+
+    /// Append one event to the journal.
+    pub fn append(&mut self, event: &E) -> Result<()> {
+        self.journal.append(event)?;
+        self.events_appended += 1;
+        Ok(())
+    }
+
+    /// Has the journal crossed the compaction threshold?
+    pub fn should_compact(&self) -> bool {
+        self.journal.len_bytes() >= self.compact_bytes
+    }
+
+    /// Snapshot `state`, truncate the journal, and prune superseded
+    /// snapshots. Callers pass the state *after* every appended event
+    /// has been applied to it.
+    pub fn compact(&mut self, state: &S) -> Result<()> {
+        self.write_snapshot(state)?;
+        self.journal.reset()?;
+        snapshot::prune(&self.dir, self.snapshot_epoch);
+        self.compactions += 1;
+        Ok(())
+    }
+
+    fn write_snapshot(&mut self, state: &S) -> Result<()> {
+        self.snapshot_bytes_written += snapshot::write_snapshot(&self.dir, state)?;
+        // write_snapshot syncs the tmp file and the directory.
+        self.snapshot_fsyncs += 2;
+        self.snapshot_epoch = state.epoch();
+        Ok(())
+    }
+
+    /// Epoch of the newest snapshot this handle knows about.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.snapshot_epoch
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// I/O counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            events_appended: self.events_appended,
+            journal_bytes_written: self.journal.bytes_written(),
+            snapshot_bytes_written: self.snapshot_bytes_written,
+            fsyncs: self.journal.fsyncs() + self.snapshot_fsyncs,
+            compactions: self.compactions,
+            journal_len: self.journal.len_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Ev {
+        epoch: u64,
+        delta: f64,
+    }
+
+    impl Stamped for Ev {
+        fn epoch(&self) -> u64 {
+            self.epoch
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct State {
+        epoch: u64,
+        total: f64,
+    }
+
+    impl Stamped for State {
+        fn epoch(&self) -> u64 {
+            self.epoch
+        }
+    }
+
+    impl State {
+        fn apply(&mut self, e: &Ev) {
+            assert_eq!(e.epoch, self.epoch + 1, "replay must be contiguous");
+            self.epoch = e.epoch;
+            self.total += e.delta;
+        }
+    }
+
+    fn scratch(name: &str) -> StoreConfig {
+        let dir = std::env::temp_dir().join(format!("gridvo-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        StoreConfig { dir, fsync: FsyncPolicy::Off, compact_bytes: u64::MAX }
+    }
+
+    fn open(config: &StoreConfig) -> (Store<State, Ev>, Option<Recovered<State, Ev>>) {
+        Store::open(config).unwrap()
+    }
+
+    #[test]
+    fn bootstrap_then_recover_replays_to_the_exact_epoch() {
+        let config = scratch("recover");
+        let mut state = State { epoch: 0, total: 0.0 };
+        {
+            let (mut store, recovered) = open(&config);
+            assert!(recovered.is_none(), "fresh directory has no prior state");
+            store.bootstrap(&state).unwrap();
+            for e in 1..=6u64 {
+                let ev = Ev { epoch: e, delta: 0.1 * e as f64 };
+                store.append(&ev).unwrap();
+                state.apply(&ev);
+            }
+        }
+        let (_, recovered) = open(&config);
+        let Recovered { snapshot, tail } = recovered.expect("prior state recovered");
+        let mut rebuilt = snapshot;
+        for e in &tail {
+            rebuilt.apply(e);
+        }
+        assert_eq!(rebuilt, state, "snapshot + tail must rebuild the pre-crash state");
+        let _ = std::fs::remove_dir_all(&config.dir);
+    }
+
+    #[test]
+    fn compaction_truncates_and_recovery_uses_the_snapshot() {
+        let config = scratch("compact");
+        let mut state = State { epoch: 0, total: 0.0 };
+        {
+            let (mut store, _) = open(&config);
+            store.bootstrap(&state).unwrap();
+            for e in 1..=4u64 {
+                let ev = Ev { epoch: e, delta: 1.0 };
+                store.append(&ev).unwrap();
+                state.apply(&ev);
+            }
+            store.compact(&state).unwrap();
+            assert_eq!(store.stats().journal_len, 0, "compaction empties the journal");
+            assert_eq!(store.stats().compactions, 1);
+            // Post-compaction events land in the fresh journal.
+            let ev = Ev { epoch: 5, delta: 1.0 };
+            store.append(&ev).unwrap();
+            state.apply(&ev);
+        }
+        let (store, recovered) = open(&config);
+        let Recovered { snapshot, tail } = recovered.unwrap();
+        assert_eq!(snapshot.epoch, 4, "recovery starts from the compacted snapshot");
+        assert_eq!(tail.len(), 1);
+        assert_eq!(store.snapshot_epoch(), 4);
+        let mut rebuilt = snapshot;
+        for e in &tail {
+            rebuilt.apply(e);
+        }
+        assert_eq!(rebuilt, state);
+        assert_eq!(
+            snapshot::list_snapshots(&config.dir).unwrap(),
+            vec![4],
+            "superseded snapshots pruned"
+        );
+        let _ = std::fs::remove_dir_all(&config.dir);
+    }
+
+    #[test]
+    fn replay_skips_events_already_covered_by_the_snapshot() {
+        // Crash window: snapshot renamed durably, journal truncation
+        // lost. The journal then still holds pre-snapshot events.
+        let config = scratch("idempotent");
+        let mut state = State { epoch: 0, total: 0.0 };
+        {
+            let (mut store, _) = open(&config);
+            store.bootstrap(&state).unwrap();
+            for e in 1..=3u64 {
+                let ev = Ev { epoch: e, delta: 2.0 };
+                store.append(&ev).unwrap();
+                state.apply(&ev);
+            }
+            // Snapshot WITHOUT truncating the journal (the crash).
+            snapshot::write_snapshot(&config.dir, &state).unwrap();
+        }
+        let (_, recovered) = open(&config);
+        let Recovered { snapshot, tail } = recovered.unwrap();
+        assert_eq!(snapshot.epoch, 3);
+        assert!(tail.is_empty(), "events at or below the snapshot epoch must be filtered");
+        let _ = std::fs::remove_dir_all(&config.dir);
+    }
+
+    #[test]
+    fn journal_without_snapshot_is_a_typed_corruption() {
+        let config = scratch("no-snapshot");
+        std::fs::create_dir_all(&config.dir).unwrap();
+        std::fs::write(config.dir.join(JOURNAL_FILE), "{\"epoch\":1,\"delta\":1.0}\n").unwrap();
+        assert!(matches!(Store::<State, Ev>::open(&config), Err(StoreError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&config.dir);
+    }
+
+    #[test]
+    fn stats_count_io() {
+        let config = StoreConfig { fsync: FsyncPolicy::PerEvent, ..scratch("stats") };
+        let (mut store, _) = open(&config);
+        store.bootstrap(&State { epoch: 0, total: 0.0 }).unwrap();
+        store.append(&Ev { epoch: 1, delta: 1.0 }).unwrap();
+        store.append(&Ev { epoch: 2, delta: 1.0 }).unwrap();
+        let s = store.stats();
+        assert_eq!(s.events_appended, 2);
+        assert!(s.journal_bytes_written > 0);
+        assert!(s.snapshot_bytes_written > 0);
+        assert!(s.fsyncs >= 4, "2 journal syncs + snapshot file/dir syncs");
+        assert_eq!(s.journal_len, s.journal_bytes_written);
+        let _ = std::fs::remove_dir_all(&config.dir);
+    }
+}
