@@ -1,0 +1,90 @@
+//! Adversary economics under receipt-driven Beta reputation, emitted
+//! as `BENCH_reputation.json`.
+//!
+//! A 6-GSP federation with two designated attackers runs multi-round
+//! dynamic formation; trust is earned from execution receipts (Beta
+//! posterior, λ-discounted). Each attack strategy — whitewashing,
+//! oscillating defection, badmouthing ring — is compared against the
+//! honest baseline (the same attacker ids playing honestly).
+//!
+//! **This binary is a gate**: it exits non-zero if any attack leaves
+//! the attackers with at least the honest baseline's payoff or
+//! selection rate — i.e. if attacking ever pays. CI runs it on every
+//! push.
+
+use gridvo_bench::{ascii_table, BenchArgs};
+use gridvo_sim::{experiments, report};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let rounds = if args.paper { 32 } else { 16 };
+    let points = match experiments::reputation_sweep(rounds, &args.seeds) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("reputation sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let csv = report::reputation_csv(&points);
+    print!("{csv}");
+    args.write_artifact("reputation_sweep.csv", &csv).unwrap();
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.strategy.clone(),
+                format!("{:.3}", p.attacker_selection.mean),
+                format!("{:.2}", p.attacker_payoff.mean),
+                format!("{:.3}", p.attacker_payoff_share.mean),
+                format!("{:.3}", p.honest_selection.mean),
+                format!("{:.2}", p.honest_payoff.mean),
+            ]
+        })
+        .collect();
+    eprintln!(
+        "{}",
+        ascii_table(
+            &[
+                "strategy",
+                "atk selection",
+                "atk payoff",
+                "atk payoff share",
+                "honest selection",
+                "honest payoff"
+            ],
+            &rows
+        )
+    );
+    args.write_artifact("BENCH_reputation.json", &report::to_json(&points)).unwrap();
+
+    // The gate: every attack must leave the attackers strictly worse
+    // off than honesty would have.
+    let baseline = points
+        .iter()
+        .find(|p| p.strategy == "honest")
+        .expect("sweep always includes the honest baseline");
+    let mut failed = false;
+    for p in points.iter().filter(|p| p.strategy != "honest") {
+        if p.attacker_payoff.mean >= baseline.attacker_payoff.mean {
+            eprintln!(
+                "GATE FAILURE: {} attackers earn {:.2} >= honest baseline {:.2}",
+                p.strategy, p.attacker_payoff.mean, baseline.attacker_payoff.mean
+            );
+            failed = true;
+        }
+        if p.attacker_selection.mean >= baseline.attacker_selection.mean {
+            eprintln!(
+                "GATE FAILURE: {} attackers selected at {:.3} >= honest baseline {:.3}",
+                p.strategy, p.attacker_selection.mean, baseline.attacker_selection.mean
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("an adversary outperformed the honest baseline — reputation loop regressed");
+        std::process::exit(1);
+    }
+    eprintln!("gate passed: every attack strategy underperforms the honest baseline");
+}

@@ -16,6 +16,8 @@ ops:
   metrics       [--out f.json]
   registry      [--json] [--out f.json]
   report-trust  --from I --to J --value V
+  report-receipt --gsp G --round R --reward W --witnesses i,j,..
+                [--success]
   add-gsp       --speed S --cost c1,c2,.. --time t1,t2,..
   remove-gsp    --id I
   ping          [--sleep-ms N]
@@ -45,8 +47,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "time",
             "id",
             "sleep-ms",
+            "gsp",
+            "round",
+            "reward",
+            "witnesses",
         ],
-        &["json"],
+        &["json", "success"],
     )
     .map_err(|e| if e == "help" { HELP.to_string() } else { e })?;
     let addr = flags.require("addr")?;
@@ -110,6 +116,23 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             let value: f64 = flags.num("value", f64::NAN)?;
             let epoch = client.report_trust(from, to, value).map_err(|e| e.to_string())?;
             println!("trust {from} -> {to} = {value}; registry epoch now {epoch}");
+            Ok(())
+        }
+        "report-receipt" => {
+            let gsp: usize = flags.num("gsp", usize::MAX)?;
+            let round: usize = flags.num("round", 0)?;
+            let reward: f64 = flags.num("reward", 0.0)?;
+            let witnesses = flags
+                .list("witnesses")?
+                .ok_or_else(|| "report-receipt needs --witnesses i,j,..".to_string())?;
+            let success = flags.has("success");
+            let receipt =
+                gridvo_core::ExecutionReceipt::new(round, gsp, success, reward, witnesses);
+            let epoch = client.report_receipt(receipt).map_err(|e| e.to_string())?;
+            let verdict = if success { "success" } else { "failure" };
+            println!(
+                "receipt for GSP {gsp} ({verdict}, reward {reward}); registry epoch now {epoch}"
+            );
             Ok(())
         }
         "add-gsp" => {

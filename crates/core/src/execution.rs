@@ -325,6 +325,132 @@ impl ExecutionReport {
             r.seconds = 0.0;
         }
     }
+
+    /// Derive the execution receipts this report attests to:
+    ///
+    /// * one **failure** receipt per non-absorbed recovery (the
+    ///   faulted GSP misbehaved; absorbed slowdowns never surfaced),
+    ///   witnessed by the other initial members and weighted by the
+    ///   payoff share that was at stake when execution started;
+    /// * one **success** receipt per final member when the program
+    ///   completed, witnessed by its final co-members and weighted by
+    ///   the payoff share actually earned.
+    ///
+    /// Purely a projection of the report — deterministic, no RNG —
+    /// so replaying an execution replays its receipts bit-for-bit.
+    pub fn receipts(&self) -> Vec<ExecutionReceipt> {
+        let mut out = Vec::new();
+        for rec in &self.recoveries {
+            if rec.recovery_kind == RecoveryKind::Absorbed {
+                continue;
+            }
+            let witnesses: Vec<usize> =
+                self.initial_members.iter().copied().filter(|&g| g != rec.gsp).collect();
+            out.push(ExecutionReceipt::new(
+                rec.round,
+                rec.gsp,
+                false,
+                self.initial_payoff_share.max(0.0),
+                witnesses,
+            ));
+        }
+        if self.completed() {
+            for &g in &self.final_members {
+                let witnesses: Vec<usize> =
+                    self.final_members.iter().copied().filter(|&w| w != g).collect();
+                out.push(ExecutionReceipt::new(
+                    self.rounds,
+                    g,
+                    true,
+                    self.final_payoff_share.max(0.0),
+                    witnesses,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// A signed-shape attestation of one GSP's conduct in one execution
+/// round: who (`gsp`), what (`success`), how much was at stake
+/// (`reward`), who can attest (`witnesses`), sealed by a content
+/// `digest` standing in for a signature. Receipts feed
+/// [`gridvo_trust::beta::BetaLedger`]: every witness contributes one
+/// reward-weighted Beta observation about the subject.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReceipt {
+    /// Execution round the conduct was observed in.
+    pub round: usize,
+    /// Global id of the GSP the receipt is about.
+    pub gsp: usize,
+    /// Delivered (`true`) or failed (`false`).
+    pub success: bool,
+    /// Task reward backing the observation (≥ 0); the Beta update
+    /// weighs the evidence by `reward / (reward + mean reward)`.
+    pub reward: f64,
+    /// Co-members attesting to the conduct (never includes `gsp`).
+    pub witnesses: Vec<usize>,
+    /// FNV-1a content digest over every other field — the
+    /// signature-shaped seal. [`ExecutionReceipt::verify`] recomputes
+    /// it; a mismatch means the receipt was tampered with or
+    /// hand-rolled incorrectly.
+    pub digest: u64,
+}
+
+impl ExecutionReceipt {
+    /// Build a receipt and seal it with its content digest.
+    pub fn new(
+        round: usize,
+        gsp: usize,
+        success: bool,
+        reward: f64,
+        witnesses: Vec<usize>,
+    ) -> Self {
+        let digest = Self::digest_of(round, gsp, success, reward, &witnesses);
+        ExecutionReceipt { round, gsp, success, reward, witnesses, digest }
+    }
+
+    /// The content digest a well-formed receipt must carry.
+    pub fn digest_of(
+        round: usize,
+        gsp: usize,
+        success: bool,
+        reward: f64,
+        witnesses: &[usize],
+    ) -> u64 {
+        let mut h = gridvo_solver::instance::Fnv1a::new();
+        h.write(b"execution-receipt-v1");
+        h.write_u64(round as u64);
+        h.write_u64(gsp as u64);
+        h.write_u64(success as u64);
+        h.write_f64(reward);
+        h.write_u64(witnesses.len() as u64);
+        for &w in witnesses {
+            h.write_u64(w as u64);
+        }
+        // Masked to 63 bits so the digest survives a JSON round trip
+        // as an exact integer (the wire format carries i64).
+        h.finish() & (i64::MAX as u64)
+    }
+
+    /// Whether the carried digest matches the content.
+    pub fn verify(&self) -> bool {
+        self.digest
+            == Self::digest_of(self.round, self.gsp, self.success, self.reward, &self.witnesses)
+    }
+
+    /// Fold this receipt into a Beta ledger: one reward-weighted
+    /// observation about `gsp` per witness. Receipts with no
+    /// witnesses (single-member VOs) fold nothing.
+    pub fn fold_into(
+        &self,
+        ledger: &mut gridvo_trust::beta::BetaLedger,
+    ) -> gridvo_trust::Result<()> {
+        for &w in &self.witnesses {
+            ledger.observe(w, self.gsp, self.reward, self.success)?;
+        }
+        Ok(())
+    }
 }
 
 /// Outcome of one eviction-based recovery attempt.

@@ -67,8 +67,8 @@ pub mod stability;
 pub mod vo;
 
 pub use execution::{
-    ExecutionReport, ExecutionStatus, FaultEvent, FaultKind, FaultPlan, RecoveryKind,
-    RecoveryRecord,
+    ExecutionReceipt, ExecutionReport, ExecutionStatus, FaultEvent, FaultKind, FaultPlan,
+    RecoveryKind, RecoveryRecord,
 };
 pub use gsp::Gsp;
 pub use mechanism::{EvictionPolicy, FormationConfig, Mechanism, SelectionRule};

@@ -37,12 +37,13 @@ pub(crate) struct VoSolveReport {
 
 impl VoSolveReport {
     /// The cacheable image of this solve (what [`SolveCache::store`]
-    /// receives on a miss).
-    fn to_cached(&self) -> CachedSolve {
+    /// receives on a miss), tagged with the candidate VO it solved.
+    fn to_cached(&self, members: &[usize]) -> CachedSolve {
         CachedSolve {
             solved: self.solved.clone(),
             nodes: self.nodes,
             incumbent_source: self.incumbent_source.clone(),
+            members: members.to_vec(),
         }
     }
 
@@ -304,7 +305,7 @@ impl Mechanism {
             return VoSolveReport::from_cached(hit);
         }
         let report = self.solve_instance(&inst, warm.as_ref());
-        cache.store(key, &report.to_cached());
+        cache.store(key, &report.to_cached(members));
         report
     }
 

@@ -37,6 +37,12 @@ pub struct CachedSolve {
     pub nodes: u64,
     /// Final-incumbent provenance of the original solve.
     pub incumbent_source: Option<String>,
+    /// Global ids of the candidate VO the solve was for. Not part of
+    /// the key — the instance content hash already covers the member
+    /// columns — but carried so cache owners can *target* eviction at
+    /// entries whose member set includes a given GSP instead of
+    /// flushing everything.
+    pub members: Vec<usize>,
 }
 
 /// A memo table for exact IP solves, keyed by [`solve_key`].
@@ -113,7 +119,7 @@ mod tests {
     #[test]
     fn no_cache_never_hits() {
         let mut c = NoCache;
-        let v = CachedSolve { solved: None, nodes: 3, incumbent_source: None };
+        let v = CachedSolve { solved: None, nodes: 3, incumbent_source: None, members: vec![0, 1] };
         c.store(7, &v);
         assert_eq!(c.lookup(7), None);
     }

@@ -14,6 +14,17 @@
 //! solve *means* (costs, times, membership) changes the key, while
 //! trust-only mutations — which the solver never sees — keep every
 //! entry valid. The capacity bound exists purely to bound memory.
+//!
+//! Eviction on trust / receipt mutations is therefore a *hygiene*
+//! concern, and a **narrow** one: each entry is tagged with the
+//! member set it solved ([`CachedSolve::members`]), and
+//! [`SharedSolveCache::invalidate_members`] drops only the entries
+//! whose member set includes a touched GSP — never the whole table.
+//! Membership churn that renumbers ids (a removal) instead clears
+//! everything via [`SharedSolveCache::clear`], because stale tags can
+//! no longer target entries. `tests/cache_invalidation.rs` holds the
+//! differential guarantee: cached and uncached daemons stay
+//! byte-identical across interleaved mutations and formations.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -70,6 +81,34 @@ impl SharedSolveCache {
         let inner = self.inner.lock().expect("cache lock poisoned");
         CacheStats { hits: inner.hits, misses: inner.misses, entries: inner.map.len() }
     }
+
+    /// Drop every entry whose member set includes any of `touched`,
+    /// leaving solves over disjoint member sets resident. Returns how
+    /// many entries were dropped.
+    pub fn invalidate_members(&self, touched: &[usize]) -> usize {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let doomed: Vec<u64> = inner
+            .map
+            .iter()
+            .filter(|(_, v)| v.members.iter().any(|m| touched.contains(m)))
+            .map(|(&k, _)| k)
+            .collect();
+        for key in &doomed {
+            inner.map.remove(key);
+            if let Some(pos) = inner.order.iter().position(|k| k == key) {
+                inner.order.remove(pos);
+            }
+        }
+        doomed.len()
+    }
+
+    /// Drop everything (id-renumbering membership churn: the member
+    /// tags can no longer address entries).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.map.clear();
+        inner.order.clear();
+    }
 }
 
 impl SolveCache for SharedSolveCache {
@@ -108,7 +147,11 @@ mod tests {
     use super::*;
 
     fn entry(nodes: u64) -> CachedSolve {
-        CachedSolve { solved: None, nodes, incumbent_source: None }
+        CachedSolve { solved: None, nodes, incumbent_source: None, members: vec![0, 1] }
+    }
+
+    fn entry_for(nodes: u64, members: Vec<usize>) -> CachedSolve {
+        CachedSolve { solved: None, nodes, incumbent_source: None, members }
     }
 
     #[test]
@@ -163,6 +206,34 @@ mod tests {
         assert!(c.lookup(2).is_none(), "2 was least recently used after 1's re-store");
         assert_eq!(c.lookup(1).unwrap().nodes, 10, "re-store replaced the value");
         assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn invalidation_targets_only_touched_members() {
+        let mut c = SharedSolveCache::new(8);
+        c.store(1, &entry_for(1, vec![0, 1, 2]));
+        c.store(2, &entry_for(2, vec![0, 1]));
+        c.store(3, &entry_for(3, vec![3, 4]));
+        assert_eq!(c.invalidate_members(&[2]), 1, "only the entry containing GSP 2 goes");
+        assert!(c.lookup(1).is_none());
+        assert!(c.lookup(2).is_some());
+        assert!(c.lookup(3).is_some());
+        assert_eq!(c.invalidate_members(&[7]), 0, "untouched member sets stay resident");
+        c.clear();
+        assert_eq!(c.stats().entries, 0);
+        assert!(c.lookup(2).is_none());
+    }
+
+    #[test]
+    fn invalidation_keeps_lru_order_consistent() {
+        let mut c = SharedSolveCache::new(2);
+        c.store(1, &entry_for(1, vec![0]));
+        c.store(2, &entry_for(2, vec![1]));
+        c.invalidate_members(&[0]);
+        c.store(3, &entry_for(3, vec![2]));
+        // Capacity 2 with entry 1 gone: both 2 and 3 must fit.
+        assert!(c.lookup(2).is_some());
+        assert!(c.lookup(3).is_some());
     }
 
     #[test]

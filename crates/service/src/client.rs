@@ -130,6 +130,19 @@ impl ServiceClient {
         }
     }
 
+    /// Submit a verified execution receipt; returns the new registry
+    /// epoch.
+    pub fn report_receipt(
+        &mut self,
+        receipt: gridvo_core::ExecutionReceipt,
+    ) -> Result<u64, ClientError> {
+        match self.request(&Request::ReportReceipt { receipt })? {
+            Response::Ack { epoch, .. } => Ok(epoch),
+            Response::Error { message } => Err(ClientError::Protocol(message)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
     /// Add a provider; returns `(id, epoch)`.
     pub fn add_gsp(
         &mut self,

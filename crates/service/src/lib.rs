@@ -73,6 +73,12 @@ pub enum ServiceError {
         /// What was malformed.
         context: &'static str,
     },
+    /// An execution receipt failed validation (bad digest, self
+    /// witness, or malformed reward).
+    BadReceipt {
+        /// What was malformed.
+        context: &'static str,
+    },
     /// The trust substrate rejected an update.
     Trust(gridvo_trust::TrustError),
     /// The mechanism / solver substrate failed.
@@ -89,6 +95,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::UnknownGsp { id } => write!(f, "unknown GSP id {id}"),
             ServiceError::LastGsp => write!(f, "cannot remove the last GSP"),
             ServiceError::BadColumn { context } => write!(f, "bad per-task column: {context}"),
+            ServiceError::BadReceipt { context } => write!(f, "bad execution receipt: {context}"),
             ServiceError::Trust(e) => write!(f, "trust error: {e}"),
             ServiceError::Core(e) => write!(f, "core error: {e}"),
             ServiceError::Storage(e) => write!(f, "storage error: {e}"),

@@ -164,6 +164,13 @@ impl DurableRegistry {
         Ok(epoch)
     }
 
+    /// Journaled [`GspRegistry::report_receipt`].
+    pub fn report_receipt(&mut self, receipt: &gridvo_core::ExecutionReceipt) -> Result<u64> {
+        let epoch = self.registry.report_receipt(receipt)?;
+        self.journal_last()?;
+        Ok(epoch)
+    }
+
     /// Append the event the mutation just logged, then compact if the
     /// journal crossed the threshold.
     fn journal_last(&mut self) -> Result<()> {

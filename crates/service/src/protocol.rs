@@ -13,7 +13,7 @@
 //! canonicalizes before serializing so identical requests are
 //! byte-identical, cached or not.
 
-use gridvo_core::{ExecutionReport, FaultPlan, FormationOutcome};
+use gridvo_core::{ExecutionReceipt, ExecutionReport, FaultPlan, FormationOutcome};
 use serde::{de_field, Deserialize, Error, Serialize, Value};
 
 use crate::metrics::MetricsSnapshot;
@@ -98,6 +98,12 @@ pub enum Request {
         /// New direct-trust weight (≥ 0, finite).
         value: f64,
     },
+    /// An attested execution receipt: witnessed success/failure
+    /// evidence folded into the pool's Beta reputation.
+    ReportReceipt {
+        /// The receipt (digest must verify).
+        receipt: ExecutionReceipt,
+    },
     /// Fetch the registry snapshot.
     Registry,
     /// Fetch the metrics snapshot.
@@ -120,6 +126,7 @@ impl Request {
             Request::AddGsp { .. } => "add_gsp",
             Request::RemoveGsp { .. } => "remove_gsp",
             Request::ReportTrust { .. } => "report_trust",
+            Request::ReportReceipt { .. } => "report_receipt",
             Request::Registry => "registry",
             Request::Metrics => "metrics",
             Request::Ping { .. } => "ping",
@@ -153,6 +160,9 @@ impl Serialize for Request {
                 fields.push(("from".to_string(), from.to_value()));
                 fields.push(("to".to_string(), to.to_value()));
                 fields.push(("value".to_string(), value.to_value()));
+            }
+            Request::ReportReceipt { receipt } => {
+                fields.push(("receipt".to_string(), receipt.to_value()));
             }
             Request::Registry | Request::Metrics => {}
             Request::Ping { sleep_ms } => {
@@ -196,6 +206,7 @@ impl Deserialize for Request {
                 to: de_field(v, "to")?,
                 value: de_field(v, "value")?,
             }),
+            "report_receipt" => Ok(Request::ReportReceipt { receipt: de_field(v, "receipt")? }),
             "registry" => Ok(Request::Registry),
             "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping { sleep_ms: de_field(v, "sleep_ms")? }),
@@ -353,6 +364,9 @@ mod tests {
             Request::AddGsp { speed_gflops: 99.5, cost: vec![1.0, 2.0], time: vec![0.5, 0.25] },
             Request::RemoveGsp { id: 3 },
             Request::ReportTrust { from: 0, to: 1, value: 0.8 },
+            Request::ReportReceipt {
+                receipt: ExecutionReceipt::new(2, 1, false, 12.5, vec![0, 3]),
+            },
             Request::Registry,
             Request::Metrics,
             Request::Ping { sleep_ms: 15 },

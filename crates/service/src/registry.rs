@@ -18,8 +18,9 @@
 //! iterations instead of a cold solve.
 
 use gridvo_core::reputation::ReputationEngine;
-use gridvo_core::{FormationScenario, Gsp};
+use gridvo_core::{ExecutionReceipt, FormationScenario, Gsp};
 use gridvo_solver::AssignmentInstance;
+use gridvo_trust::beta::{BetaLedger, DEFAULT_LAMBDA};
 use gridvo_trust::TrustGraph;
 use serde::{Deserialize, Serialize};
 
@@ -36,7 +37,8 @@ use crate::{Result, ServiceError};
 pub struct RegistryEvent {
     /// Epoch the mutation produced (the first mutation is epoch 1).
     pub epoch: u64,
-    /// Operation name: `"add_gsp"`, `"remove_gsp"` or `"report_trust"`.
+    /// Operation name: `"add_gsp"`, `"remove_gsp"`, `"report_trust"`
+    /// or `"report_receipt"`.
     pub op: String,
     /// The GSP the operation targeted (the new id for additions, the
     /// removed id for removals, the *reporting* GSP for trust reports).
@@ -51,6 +53,10 @@ pub struct RegistryEvent {
     pub cost: Option<Vec<f64>>,
     /// The joining GSP's per-task time column, for `add_gsp` events.
     pub time: Option<Vec<f64>>,
+    /// The attested execution receipt, for `report_receipt` events.
+    /// Absent from journals written before receipts existed — those
+    /// still deserialize (missing `Option` fields parse as `None`).
+    pub receipt: Option<ExecutionReceipt>,
 }
 
 impl RegistryEvent {
@@ -71,6 +77,7 @@ impl RegistryEvent {
             speed_gflops: None,
             cost: None,
             time: None,
+            receipt: None,
         }
     }
 }
@@ -104,6 +111,10 @@ pub struct PersistedState {
     /// The full event log (kept so a recovered registry's event
     /// history and counts match the uninterrupted run exactly).
     pub events: Vec<RegistryEvent>,
+    /// Receipt-driven Beta evidence, when any receipt has been
+    /// reported. Absent from snapshots written before receipts
+    /// existed — those still deserialize with no ledger.
+    pub beta: Option<BetaLedger>,
 }
 
 impl gridvo_store::Stamped for PersistedState {
@@ -149,6 +160,10 @@ pub struct GspRegistry {
     /// warm start of the next refresh.
     reputation: Vec<f64>,
     power_iterations: usize,
+    /// Receipt-driven Beta evidence; `None` until the first receipt,
+    /// so a receipt-free registry stays bit-identical to the
+    /// pre-receipt behavior (declared trust only).
+    beta: Option<BetaLedger>,
 }
 
 impl GspRegistry {
@@ -178,6 +193,7 @@ impl GspRegistry {
         reg.events = state.events.clone();
         reg.reputation = state.reputation.clone();
         reg.power_iterations = state.power_iterations;
+        reg.beta = state.beta.clone();
         Ok(reg)
     }
 
@@ -205,6 +221,7 @@ impl GspRegistry {
             engine,
             reputation: Vec::new(),
             power_iterations: 0,
+            beta: None,
         }
     }
 
@@ -217,6 +234,7 @@ impl GspRegistry {
             reputation: self.reputation.clone(),
             power_iterations: self.power_iterations,
             events: self.events.clone(),
+            beta: self.beta.clone(),
         })
     }
 
@@ -268,6 +286,15 @@ impl GspRegistry {
                     }
                 };
                 self.report_trust(from, to, value)
+            }
+            "report_receipt" => {
+                let receipt = event.receipt.as_ref().ok_or_else(|| {
+                    ServiceError::Storage(format!(
+                        "report_receipt event at epoch {} lacks its receipt",
+                        event.epoch
+                    ))
+                })?;
+                self.report_receipt(receipt)
             }
             other => {
                 return Err(ServiceError::Storage(format!(
@@ -326,6 +353,9 @@ impl GspRegistry {
             grown.try_set_trust(i, j, w)?;
         }
         self.trust = grown;
+        if let Some(ledger) = &mut self.beta {
+            ledger.grow();
+        }
         // Splice the new column into the row-major matrices.
         let mut new_cost = Vec::with_capacity(self.tasks * (m + 1));
         let mut new_time = Vec::with_capacity(self.tasks * (m + 1));
@@ -349,6 +379,7 @@ impl GspRegistry {
             speed_gflops: Some(speed_gflops),
             cost: Some(cost.to_vec()),
             time: Some(time.to_vec()),
+            receipt: None,
         });
         // The warm start no longer matches the pool size; the refresh
         // falls back to a cold solve for this one recompute.
@@ -370,6 +401,9 @@ impl GspRegistry {
         let m = self.gsps.len();
         let (trust, survivors) = self.trust.remove_node(id)?;
         self.trust = trust;
+        if let Some(ledger) = &mut self.beta {
+            ledger.remove(id)?;
+        }
         let keep = |row: &[f64]| -> Vec<f64> {
             row.iter().enumerate().filter(|&(g, _)| g != id).map(|(_, &v)| v).collect()
         };
@@ -413,6 +447,58 @@ impl GspRegistry {
         Ok(self.epoch)
     }
 
+    /// Ingest one execution receipt: every witness contributes a
+    /// reward-weighted Beta observation about `receipt.gsp`, and the
+    /// pool's *effective* trust (declared edges overridden by Beta
+    /// posteriors wherever evidence exists) feeds the next reputation
+    /// refresh. The receipt's digest must verify — a signed-shape
+    /// integrity check on what is, in practice, replayed from a
+    /// journal. Returns the new epoch.
+    pub fn report_receipt(&mut self, receipt: &ExecutionReceipt) -> Result<u64> {
+        if !receipt.verify() {
+            return Err(ServiceError::BadReceipt { context: "digest does not match content" });
+        }
+        let m = self.gsps.len();
+        if receipt.gsp >= m {
+            return Err(ServiceError::UnknownGsp { id: receipt.gsp });
+        }
+        if let Some(&w) = receipt.witnesses.iter().find(|&&w| w >= m) {
+            return Err(ServiceError::UnknownGsp { id: w });
+        }
+        if receipt.witnesses.contains(&receipt.gsp) {
+            return Err(ServiceError::BadReceipt { context: "subject cannot witness itself" });
+        }
+        if !receipt.reward.is_finite() || receipt.reward < 0.0 {
+            return Err(ServiceError::BadReceipt { context: "reward must be finite and >= 0" });
+        }
+        let ledger = self.beta.get_or_insert_with(|| BetaLedger::new(m, DEFAULT_LAMBDA));
+        receipt.fold_into(ledger)?;
+        self.epoch += 1;
+        let mut event =
+            RegistryEvent::slim(self.epoch, "report_receipt", Some(receipt.gsp), None, None);
+        event.receipt = Some(receipt.clone());
+        self.events.push(event);
+        self.refresh_reputation()?;
+        Ok(self.epoch)
+    }
+
+    /// The trust graph requests actually see: declared edges, with
+    /// every receipt-evidenced edge overridden by its Beta posterior.
+    /// With no receipts this is exactly the declared graph, keeping
+    /// the zero-receipt path bit-identical to pre-receipt behavior.
+    fn effective_trust(&self) -> Result<TrustGraph> {
+        match &self.beta {
+            None => Ok(self.trust.clone()),
+            Some(ledger) => Ok(ledger.apply_to(&self.trust)?),
+        }
+    }
+
+    /// The receipt-driven Beta ledger, once any receipt has been
+    /// reported.
+    pub fn beta(&self) -> Option<&BetaLedger> {
+        self.beta.as_ref()
+    }
+
     /// Materialize the current pool as an immutable scenario — what a
     /// formation / execution request actually runs against. Cheap
     /// relative to a solve (one matrix clone).
@@ -426,7 +512,7 @@ impl GspRegistry {
             self.payment,
         )
         .map_err(gridvo_core::CoreError::from)?;
-        Ok(FormationScenario::new(self.gsps.clone(), self.trust.clone(), inst)?)
+        Ok(FormationScenario::new(self.gsps.clone(), self.effective_trust()?, inst)?)
     }
 
     /// A serializable view for `registry` requests.
@@ -448,7 +534,8 @@ impl GspRegistry {
         } else {
             None
         };
-        let rep = self.engine.compute_with_start(&self.trust, &members, start)?;
+        let graph = self.effective_trust()?;
+        let rep = self.engine.compute_with_start(&graph, &members, start)?;
         self.reputation = rep.scores;
         self.power_iterations = rep.iterations;
         Ok(())

@@ -282,14 +282,36 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
         Request::RemoveGsp { id } => {
             let mut reg = shared.registry.lock().expect("registry lock poisoned");
             match reg.remove_gsp(id) {
-                Ok(epoch) => Response::Ack { epoch, id: None },
+                Ok(epoch) => {
+                    // Removal renumbers ids, so member tags can no
+                    // longer address entries: flush wholesale.
+                    shared.cache.clear();
+                    Response::Ack { epoch, id: None }
+                }
                 Err(e) => error_response(shared, e.to_string()),
             }
         }
         Request::ReportTrust { from, to, value } => {
             let mut reg = shared.registry.lock().expect("registry lock poisoned");
             match reg.report_trust(from, to, value) {
-                Ok(epoch) => Response::Ack { epoch, id: None },
+                Ok(epoch) => {
+                    // Narrow eviction: only solves whose member set
+                    // includes a touched GSP (correctness never needs
+                    // this — the solve key covers solver inputs only —
+                    // so the untouched entries stay hot).
+                    shared.cache.invalidate_members(&[from, to]);
+                    Response::Ack { epoch, id: None }
+                }
+                Err(e) => error_response(shared, e.to_string()),
+            }
+        }
+        Request::ReportReceipt { receipt } => {
+            let mut reg = shared.registry.lock().expect("registry lock poisoned");
+            match reg.report_receipt(&receipt) {
+                Ok(epoch) => {
+                    shared.cache.invalidate_members(&[receipt.gsp]);
+                    Response::Ack { epoch, id: None }
+                }
                 Err(e) => error_response(shared, e.to_string()),
             }
         }

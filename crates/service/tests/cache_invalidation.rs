@@ -1,0 +1,112 @@
+//! Differential guarantee behind the narrow solve-cache eviction:
+//! across an interleaving of trust reports, execution receipts, and
+//! formation requests, a caching daemon serves **byte-identical**
+//! responses to one with caching disabled — no stale hit ever
+//! survives a reputation-bearing mutation.
+//!
+//! The eviction policy under test
+//! ([`gridvo_service`'s `SharedSolveCache::invalidate_members`]) is
+//! deliberately narrow: a trust / receipt update drops only the
+//! cached solves whose member set includes a touched GSP. This test
+//! is what licenses that narrowness — if eviction ever under-shoots,
+//! the cached daemon diverges from the uncached one and the
+//! interleaving here catches it.
+
+use gridvo_core::{ExecutionReceipt, FormationScenario};
+use gridvo_service::protocol::MechanismKind;
+use gridvo_service::{ServerConfig, ServerHandle, ServiceClient};
+use gridvo_sim::config::TableI;
+use gridvo_sim::instance_gen::ScenarioGenerator;
+use rand::SeedableRng;
+
+fn scenario() -> FormationScenario {
+    let cfg = TableI { task_sizes: vec![12], gsps: 6, ..TableI::small() };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    ScenarioGenerator::new(cfg).scenario(12, &mut rng).expect("feasible small scenario")
+}
+
+/// One step of the interleaved workload.
+enum Step {
+    Form { seed: u64 },
+    Trust { from: usize, to: usize, value: f64 },
+    Receipt { receipt: ExecutionReceipt },
+}
+
+/// A fixed interleaving that revisits the same form seeds after every
+/// mutation, so a stale cache entry would be *served* (not just
+/// resident) if eviction missed it.
+fn workload() -> Vec<Step> {
+    vec![
+        Step::Form { seed: 42 },
+        Step::Form { seed: 7 },
+        // Trust shifts on GSPs likely inside the formed VO.
+        Step::Trust { from: 0, to: 1, value: 0.15 },
+        Step::Form { seed: 42 },
+        // A failure receipt collapses GSP 1's earned trust.
+        Step::Receipt { receipt: ExecutionReceipt::new(0, 1, false, 9.0, vec![0, 2, 3]) },
+        Step::Form { seed: 42 },
+        Step::Form { seed: 7 },
+        // Successes for a co-member; replay both seeds again.
+        Step::Receipt { receipt: ExecutionReceipt::new(1, 2, true, 6.0, vec![0, 1]) },
+        Step::Receipt { receipt: ExecutionReceipt::new(2, 2, true, 6.0, vec![0, 1]) },
+        Step::Form { seed: 42 },
+        Step::Form { seed: 7 },
+        Step::Trust { from: 3, to: 0, value: 0.9 },
+        Step::Form { seed: 42 },
+        // Repeat a failure so the discounted posterior keeps moving.
+        Step::Receipt { receipt: ExecutionReceipt::new(3, 1, false, 9.0, vec![0, 2, 3]) },
+        Step::Form { seed: 42 },
+        Step::Form { seed: 7 },
+    ]
+}
+
+/// Run the workload against one daemon, returning every response as
+/// its serialized bytes (acks included — epochs must line up too).
+fn run(client: &mut ServiceClient) -> Vec<String> {
+    workload()
+        .iter()
+        .map(|step| match step {
+            Step::Form { seed } => {
+                let response = client.form(*seed, MechanismKind::Tvof, None).unwrap();
+                serde_json::to_string(&response).unwrap()
+            }
+            Step::Trust { from, to, value } => {
+                format!("epoch:{}", client.report_trust(*from, *to, *value).unwrap())
+            }
+            Step::Receipt { receipt } => {
+                format!("epoch:{}", client.report_receipt(receipt.clone()).unwrap())
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn cached_daemon_never_serves_stale_bytes_across_mutations() {
+    let s = scenario();
+
+    let cached = ServerHandle::spawn(&s, ServerConfig::default()).expect("bind loopback");
+    let mut cached_client = ServiceClient::connect(cached.addr()).unwrap();
+    let cached_bytes = run(&mut cached_client);
+    let cached_stats = cached_client.metrics().unwrap();
+    cached.shutdown();
+
+    let uncached_config = ServerConfig { cache_capacity: 0, ..ServerConfig::default() };
+    let uncached = ServerHandle::spawn(&s, uncached_config).expect("bind loopback");
+    let mut uncached_client = ServiceClient::connect(uncached.addr()).unwrap();
+    let uncached_bytes = run(&mut uncached_client);
+    let uncached_stats = uncached_client.metrics().unwrap();
+    uncached.shutdown();
+
+    assert_eq!(cached_bytes.len(), uncached_bytes.len());
+    for (i, (cached_line, uncached_line)) in cached_bytes.iter().zip(&uncached_bytes).enumerate() {
+        assert_eq!(
+            cached_line, uncached_line,
+            "step {i}: caching daemon served different bytes — a stale solve survived"
+        );
+    }
+
+    // The comparison only bites if the cached daemon actually reused
+    // entries: identical replays between mutations must hit.
+    assert!(cached_stats.cache_hits > 0, "workload never exercised the cache");
+    assert_eq!(uncached_stats.cache_hits, 0, "capacity-0 daemon must never hit");
+}

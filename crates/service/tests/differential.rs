@@ -8,8 +8,10 @@
 //!   timing canonicalization on both sides);
 //! * a repeated identical request is served **from the solve cache**
 //!   (hits counted in metrics) with the **same bytes**;
-//! * a trust-only registry update invalidates **nothing** solver-side
-//!   (no new cache misses on the replay);
+//! * a trust / receipt update evicts cache entries **narrowly** — only
+//!   solves whose member set includes a touched GSP — and the replay
+//!   still serves identical bytes (hygiene eviction, never staleness;
+//!   `tests/cache_invalidation.rs` holds the full interleaving);
 //! * admission control sheds load with typed `Busy` /
 //!   `DeadlineExceeded` responses instead of hanging or panicking.
 
@@ -121,16 +123,29 @@ fn served_execute_is_bit_identical_to_direct_call() {
 }
 
 #[test]
-fn trust_only_updates_keep_the_solve_cache_warm() {
+fn trust_updates_evict_narrowly_and_replays_stay_identical() {
     let (handle, s) = spawn(ServerConfig::default());
     let mut client = ServiceClient::connect(handle.addr()).unwrap();
 
     let first = client.form(11, MechanismKind::Tvof, None).unwrap();
     let warm = client.metrics().unwrap();
 
+    // An identical replay is served straight from the cache.
+    let replay = client.form(11, MechanismKind::Tvof, None).unwrap();
+    let hot = client.metrics().unwrap();
+    assert_eq!(
+        serde_json::to_string(&first).unwrap(),
+        serde_json::to_string(&replay).unwrap(),
+        "a cached replay changed the served bytes"
+    );
+    assert_eq!(hot.cache_misses, warm.cache_misses, "an identical replay must hit the cache");
+
     // Re-report an existing edge at its current weight: the epoch
     // advances but reputations — and thus the eviction order and the
-    // solved instances — are unchanged.
+    // solved instances — are unchanged. The update *does* drop the
+    // cached solves whose member set includes the touched GSPs
+    // (hygiene eviction), so the replay re-solves those — but the
+    // bytes it serves must not move.
     let existing = s.trust().edges().next().expect("generated scenario has trust edges");
     let epoch = client.report_trust(existing.0, existing.1, existing.2).unwrap();
     assert_eq!(epoch, 1, "trust report must bump the registry epoch");
@@ -143,9 +158,9 @@ fn trust_only_updates_keep_the_solve_cache_warm() {
         serde_json::to_string(&second).unwrap(),
         "a no-op trust update changed the served bytes"
     );
-    assert_eq!(
-        after.cache_misses, warm.cache_misses,
-        "a trust-only update must not invalidate any solver-side cache entry"
+    assert!(
+        after.cache_misses > hot.cache_misses,
+        "touching a formed member's trust edge must evict its cached solves"
     );
     handle.shutdown();
 }

@@ -7,7 +7,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use gridvo_core::reputation::ReputationEngine;
-use gridvo_core::FormationScenario;
+use gridvo_core::{ExecutionReceipt, FormationScenario};
 use gridvo_service::protocol::{MechanismKind, Response};
 use gridvo_service::{
     DurableRegistry, GspRegistry, PersistConfig, RegistryEvent, ServerConfig, ServerHandle,
@@ -50,6 +50,8 @@ fn mutate(client: &mut ServiceClient, tasks: usize) {
     client.report_trust(5, 1, 0.7).unwrap();
     client.remove_gsp(3).unwrap();
     client.report_trust(2, 4, 0.4).unwrap();
+    client.report_receipt(ExecutionReceipt::new(1, 1, true, 8.0, vec![0, 2])).unwrap();
+    client.report_receipt(ExecutionReceipt::new(2, 4, false, 5.5, vec![1, 3])).unwrap();
 }
 
 fn form_bytes(client: &mut ServiceClient, seed: u64) -> String {
@@ -75,7 +77,7 @@ fn recovered_daemon_is_byte_identical_to_an_uninterrupted_one() {
 
     // Recovery: same data dir, same bytes out.
     let handle = spawn(Some(persist(&dir)));
-    assert_eq!(handle.recovered_epoch(), Some(5));
+    assert_eq!(handle.recovered_epoch(), Some(7));
     let mut client = ServiceClient::connect(handle.addr()).unwrap();
     assert_eq!(
         serde_json::to_string(&client.registry().unwrap()).unwrap(),
@@ -111,6 +113,7 @@ fn torn_journal_tails_recover_to_exact_prefixes() {
     durable.add_gsp(120.0, &[2.0; 12], &[0.5; 12]).unwrap();
     durable.report_trust(5, 1, 0.7).unwrap();
     durable.remove_gsp(3).unwrap();
+    durable.report_receipt(&ExecutionReceipt::new(0, 2, true, 6.0, vec![0, 1])).unwrap();
     let full_events = durable.registry().events().to_vec();
     drop(durable);
     let journal_path = dir.join(JOURNAL_FILE);
@@ -211,11 +214,12 @@ fn registry_event_wire_format_is_stable() {
         speed_gflops: None,
         cost: None,
         time: None,
+        receipt: None,
     };
     assert_eq!(
         serde_json::to_string(&trust).unwrap(),
         "{\"epoch\":3,\"op\":\"report_trust\",\"gsp\":0,\"to\":2,\"value\":0.9,\
-         \"speed_gflops\":null,\"cost\":null,\"time\":null}"
+         \"speed_gflops\":null,\"cost\":null,\"time\":null,\"receipt\":null}"
     );
     let add = RegistryEvent {
         epoch: 1,
@@ -226,11 +230,12 @@ fn registry_event_wire_format_is_stable() {
         speed_gflops: Some(120.0),
         cost: Some(vec![2.0, 2.5]),
         time: Some(vec![0.5, 1.0]),
+        receipt: None,
     };
     assert_eq!(
         serde_json::to_string(&add).unwrap(),
         "{\"epoch\":1,\"op\":\"add_gsp\",\"gsp\":5,\"to\":null,\"value\":null,\
-         \"speed_gflops\":120.0,\"cost\":[2.0,2.5],\"time\":[0.5,1.0]}"
+         \"speed_gflops\":120.0,\"cost\":[2.0,2.5],\"time\":[0.5,1.0],\"receipt\":null}"
     );
 
     // Decoding round-trips the golden lines…
@@ -246,4 +251,59 @@ fn registry_event_wire_format_is_stable() {
     assert_eq!(legacy.op, "remove_gsp");
     assert_eq!(legacy.speed_gflops, None);
     assert_eq!(legacy.cost, None);
+    assert_eq!(legacy.receipt, None, "pre-receipt journal lines parse with no receipt");
+}
+
+#[test]
+fn execution_receipt_wire_format_is_stable() {
+    // Golden line for the receipt payload embedded in journal events
+    // and `report_receipt` requests. Changing this shape invalidates
+    // on-disk journals *and* every signed digest, so a failure here
+    // means "write a migration", not "update the string".
+    let receipt = ExecutionReceipt::new(2, 1, false, 12.5, vec![0, 3]);
+    let line = serde_json::to_string(&receipt).unwrap();
+    assert_eq!(
+        line,
+        format!(
+            "{{\"round\":2,\"gsp\":1,\"success\":false,\"reward\":12.5,\
+             \"witnesses\":[0,3],\"digest\":{}}}",
+            receipt.digest
+        )
+    );
+    let back: ExecutionReceipt = serde_json::from_str(&line).unwrap();
+    assert_eq!(back, receipt);
+    assert!(back.verify(), "decoded receipt must still verify its digest");
+
+    // A journal event carrying a receipt keeps the flat fields null.
+    let event = RegistryEvent {
+        epoch: 7,
+        op: "report_receipt".to_string(),
+        gsp: None,
+        to: None,
+        value: None,
+        speed_gflops: None,
+        cost: None,
+        time: None,
+        receipt: Some(receipt.clone()),
+    };
+    assert_eq!(
+        serde_json::to_string(&event).unwrap(),
+        format!(
+            "{{\"epoch\":7,\"op\":\"report_receipt\",\"gsp\":null,\"to\":null,\
+             \"value\":null,\"speed_gflops\":null,\"cost\":null,\"time\":null,\
+             \"receipt\":{line}}}"
+        )
+    );
+    // Pre-receipt journals (no `receipt` key anywhere) still parse.
+    let legacy: RegistryEvent = serde_json::from_str(
+        "{\"epoch\":4,\"op\":\"report_trust\",\"gsp\":1,\"to\":0,\"value\":0.3,\
+         \"speed_gflops\":null,\"cost\":null,\"time\":null}",
+    )
+    .unwrap();
+    assert_eq!(legacy.receipt, None);
+
+    // Tampering with any signed field breaks verification.
+    let mut forged = receipt;
+    forged.reward = 99.0;
+    assert!(!forged.verify(), "a tampered reward must fail digest verification");
 }

@@ -6,7 +6,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use gridvo_core::reputation::ReputationEngine;
-use gridvo_core::{FormationScenario, Gsp};
+use gridvo_core::{ExecutionReceipt, FormationScenario, Gsp};
 use gridvo_service::{DurableRegistry, GspRegistry, PersistConfig, RegistryEvent};
 use gridvo_solver::AssignmentInstance;
 use gridvo_store::{FsyncPolicy, JOURNAL_FILE};
@@ -33,9 +33,10 @@ fn scenario() -> FormationScenario {
 }
 
 /// One random mutation attempt: `(kind, a, b, v)`. Applied modulo the
-/// live pool, and allowed to fail (failed mutations journal nothing).
+/// live pool, and allowed to fail (failed mutations journal nothing —
+/// e.g. a receipt whose only witness collides with its subject).
 fn ops_strategy() -> impl Strategy<Value = Vec<(u8, usize, usize, f64)>> {
-    proptest::collection::vec((0u8..6, 0usize..8, 0usize..8, 0.05f64..1.0), 1..10)
+    proptest::collection::vec((0u8..8, 0usize..8, 0usize..8, 0.05f64..1.0), 1..10)
 }
 
 fn apply(durable: &mut DurableRegistry, op: &(u8, usize, usize, f64)) {
@@ -50,8 +51,14 @@ fn apply(durable: &mut DurableRegistry, op: &(u8, usize, usize, f64)) {
         3 | 4 => {
             let _ = durable.add_gsp(50.0 + 100.0 * v, &[1.0 + v; TASKS], &[0.5 + v; TASKS]);
         }
-        _ => {
+        5 => {
             let _ = durable.remove_gsp(a % m);
+        }
+        // Execution receipts: success and failure, witnessed by one
+        // other GSP when the draw allows it.
+        _ => {
+            let receipt = ExecutionReceipt::new(a, a % m, kind == 6, 10.0 * v, vec![b % m]);
+            let _ = durable.report_receipt(&receipt);
         }
     }
 }

@@ -23,12 +23,14 @@
 //! such drift. [`simulate`] produces the per-round records behind that
 //! comparison; `gridvo-bench`'s `dynamic_rounds` binary renders it.
 
+use crate::adversary::BetaDynamics;
 use crate::config::TableI;
 use crate::faults::FaultModel;
 use crate::instance_gen::ScenarioGenerator;
 use crate::{Result, SimError};
 use gridvo_core::mechanism::Mechanism;
-use gridvo_core::FormationScenario;
+use gridvo_core::{ExecutionReceipt, FormationScenario};
+use gridvo_trust::beta::BetaLedger;
 use gridvo_trust::decay::{DecayModel, InteractionLedger, Outcome};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -60,6 +62,12 @@ pub struct DynamicConfig {
     /// `None` (the default) adds no RNG draws, so existing seeded runs
     /// replay byte-identically.
     pub faults: Option<FaultModel>,
+    /// Receipt-driven Beta reputation: when set, per-round trust is
+    /// the earned-trust graph of a [`BetaLedger`] fed by execution
+    /// receipts (and adversarial lies, if configured) instead of the
+    /// decayed interaction ledger. `None` (the default) adds no RNG
+    /// draws and leaves the classic path byte-identical.
+    pub beta: Option<BetaDynamics>,
 }
 
 impl DynamicConfig {
@@ -75,6 +83,7 @@ impl DynamicConfig {
             round_interval: 6.0 * 3600.0,
             bootstrap_p: 0.1,
             faults: None,
+            beta: None,
         }
     }
 }
@@ -125,12 +134,19 @@ pub fn simulate<R: Rng + ?Sized>(
     );
     let generator = ScenarioGenerator::new(cfg.table.clone());
     let mut ledger = InteractionLedger::new(m);
+    let mut beta_ledger = cfg.beta.as_ref().map(|bd| BetaLedger::new(m, bd.lambda));
 
-    // Bootstrap prior: sparse positive history, ER-style.
+    // Bootstrap prior: sparse positive history, ER-style. The Beta
+    // ledger reuses the *same* draws (one weight-1 success per seeded
+    // pair), so enabling it changes no RNG stream.
     for i in 0..m {
         for j in 0..m {
             if i != j && rng.gen::<f64>() < cfg.bootstrap_p {
                 ledger.record(i, j, 0.0, Outcome::Delivered);
+                if let Some(bl) = &mut beta_ledger {
+                    bl.observe_weighted(i, j, 1.0, true)
+                        .map_err(|e| SimError::Core(e.to_string()))?;
+                }
             }
         }
     }
@@ -138,7 +154,20 @@ pub fn simulate<R: Rng + ?Sized>(
     let mut records = Vec::with_capacity(cfg.rounds);
     for round in 0..cfg.rounds {
         let now = (round as f64 + 1.0) * cfg.round_interval;
-        let trust = cfg.decay.trust_at(&ledger, now);
+        // Whitewashers shed their identity before the round forms:
+        // every Beta edge touching them (earned distrust included)
+        // reverts to the prior.
+        if let (Some(bd), Some(bl)) = (&cfg.beta, &mut beta_ledger) {
+            for &attacker in &bd.attackers {
+                if bd.whitewashes_at(attacker, round) {
+                    bl.forget(attacker).map_err(|e| SimError::Core(e.to_string()))?;
+                }
+            }
+        }
+        let trust = match &beta_ledger {
+            Some(bl) => bl.trust_graph(),
+            None => cfg.decay.trust_at(&ledger, now),
+        };
         let trust_mass = (0..m).map(|i| trust.out_trust_sum(i)).sum();
 
         // Fresh economics each round (new program, new prices), the
@@ -154,9 +183,15 @@ pub fn simulate<R: Rng + ?Sized>(
                     vo.members.iter().map(|&g| cfg.reliabilities[g]).sum::<f64>()
                         / vo.members.len() as f64;
                 // The program executes: members deliver or fail.
+                // Oscillating defectors override their configured
+                // reliability by phase; the draw count is unchanged.
                 let mut failed = Vec::new();
                 for &g in &vo.members {
-                    if rng.gen::<f64>() >= cfg.reliabilities[g] {
+                    let reliability = match &cfg.beta {
+                        Some(bd) => bd.effective_reliability(g, round, cfg.reliabilities[g]),
+                        None => cfg.reliabilities[g],
+                    };
+                    if rng.gen::<f64>() >= reliability {
                         failed.push(g);
                     }
                 }
@@ -179,16 +214,53 @@ pub fn simulate<R: Rng + ?Sized>(
                     }
                     None => (0, 0, false, vo.payoff_share),
                 };
-                // Every member observes every other member.
-                for &rater in &vo.members {
-                    for &ratee in &vo.members {
-                        if rater != ratee {
-                            let outcome = if failed.contains(&ratee) {
-                                Outcome::Failed
-                            } else {
-                                Outcome::Delivered
-                            };
-                            ledger.record(rater, ratee, now, outcome);
+                // Every member observes every other member. In beta
+                // mode the observations travel as execution receipts:
+                // one receipt per subject, witnessed by the co-members
+                // whose report matches the truthful outcome. Liars
+                // (badmouth-ring raters) cannot forge a receipt's
+                // signed content, so their reports land as plain
+                // subjective ratings on their own edges instead.
+                match (&cfg.beta, &mut beta_ledger) {
+                    (Some(bd), Some(bl)) => {
+                        let reward = exec_payoff.max(0.0);
+                        for &g in &vo.members {
+                            let truthful = !failed.contains(&g);
+                            let mut witnesses = Vec::new();
+                            let mut liars = Vec::new();
+                            for &w in &vo.members {
+                                if w == g {
+                                    continue;
+                                }
+                                if bd.reported_outcome(w, g, truthful) == truthful {
+                                    witnesses.push(w);
+                                } else {
+                                    liars.push(w);
+                                }
+                            }
+                            if !witnesses.is_empty() {
+                                let receipt =
+                                    ExecutionReceipt::new(round, g, truthful, reward, witnesses);
+                                receipt.fold_into(bl).map_err(|e| SimError::Core(e.to_string()))?;
+                            }
+                            for w in liars {
+                                bl.observe(w, g, reward, !truthful)
+                                    .map_err(|e| SimError::Core(e.to_string()))?;
+                            }
+                        }
+                    }
+                    _ => {
+                        for &rater in &vo.members {
+                            for &ratee in &vo.members {
+                                if rater != ratee {
+                                    let outcome = if failed.contains(&ratee) {
+                                        Outcome::Failed
+                                    } else {
+                                        Outcome::Delivered
+                                    };
+                                    ledger.record(rater, ratee, now, outcome);
+                                }
+                            }
                         }
                     }
                 }

@@ -353,6 +353,105 @@ pub fn fault_sweep(
     Ok(points)
 }
 
+/// One row of the adversary-economics sweep (`BENCH_reputation.json`):
+/// attacker outcomes under one reputation-attack strategy, aggregated
+/// over seeds. The `honest` row is the baseline — the same attacker
+/// ids playing honestly at honest reliability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReputationPoint {
+    /// Strategy name (`honest`, `whitewash`, `oscillate`,
+    /// `badmouth-ring`).
+    pub strategy: String,
+    /// Late-window selection rate per attacker GSP.
+    pub attacker_selection: Aggregate,
+    /// Late-window mean per-round payoff per attacker GSP.
+    pub attacker_payoff: Aggregate,
+    /// Attackers' share of all payoff distributed in the late window.
+    pub attacker_payoff_share: Aggregate,
+    /// Late-window selection rate per honest GSP (the bystanders).
+    pub honest_selection: Aggregate,
+    /// Late-window mean per-round payoff per honest GSP.
+    pub honest_payoff: Aggregate,
+    /// Simulated rounds per run.
+    pub rounds: usize,
+}
+
+/// The `BENCH_reputation.json` experiment: a small federation with
+/// two designated attackers runs `rounds` of receipt-driven dynamic
+/// formation under each attack strategy (plus the honest baseline).
+/// Metrics are taken from the late half of the horizon, after the
+/// reputation loop has had time to react.
+pub fn reputation_sweep(rounds: usize, seeds: &[u64]) -> Result<Vec<ReputationPoint>> {
+    use crate::adversary::{mean_payoff, selection_rate, AdversaryKind, BetaDynamics};
+    use crate::dynamic::{simulate, DynamicConfig};
+    use gridvo_trust::beta::DEFAULT_LAMBDA;
+
+    const ATTACKERS: [usize; 2] = [4, 5];
+    const HONEST: [usize; 4] = [0, 1, 2, 3];
+    let table = TableI {
+        gsps: 6,
+        task_sizes: vec![18],
+        trace_jobs: 1_500,
+        deadline_factor_range: (4.0, 16.0),
+        ..TableI::default()
+    };
+    let strategies: [(&str, AdversaryKind, f64); 4] = [
+        ("honest", AdversaryKind::Honest, 0.95),
+        ("whitewash", AdversaryKind::Whitewash { period: 4 }, 0.3),
+        ("oscillate", AdversaryKind::Oscillate { period: 4 }, 0.95),
+        ("badmouth-ring", AdversaryKind::BadmouthRing, 0.3),
+    ];
+
+    let mut points = Vec::with_capacity(strategies.len());
+    for (idx, (name, kind, attacker_reliability)) in strategies.into_iter().enumerate() {
+        let results = run_seeds(0xBE7A + idx as u64, seeds, |_seed, rng| {
+            let mut reliabilities = vec![0.98, 0.95, 0.95, 0.95, 0.0, 0.0];
+            for &a in &ATTACKERS {
+                reliabilities[a] = attacker_reliability;
+            }
+            let mut cfg = DynamicConfig::new(table.clone(), rounds, 18, reliabilities);
+            cfg.beta = Some(BetaDynamics::attack(DEFAULT_LAMBDA, ATTACKERS.to_vec(), kind));
+            simulate(&cfg, Mechanism::tvof(paper_config(&table)), rng)
+        });
+        let mut attacker_sel = Vec::new();
+        let mut attacker_pay = Vec::new();
+        let mut attacker_share = Vec::new();
+        let mut honest_sel = Vec::new();
+        let mut honest_pay = Vec::new();
+        for records in results {
+            let records = records?;
+            let late = &records[rounds / 2..];
+            for &g in &ATTACKERS {
+                attacker_sel.push(selection_rate(late, g));
+                attacker_pay.push(mean_payoff(late, g));
+            }
+            for &g in &HONEST {
+                honest_sel.push(selection_rate(late, g));
+                honest_pay.push(mean_payoff(late, g));
+            }
+            let total: f64 = late.iter().map(|r| r.payoff_share * r.members.len() as f64).sum();
+            let attackers_total: f64 = late
+                .iter()
+                .map(|r| {
+                    r.payoff_share
+                        * r.members.iter().filter(|g| ATTACKERS.contains(g)).count() as f64
+                })
+                .sum();
+            attacker_share.push(if total > 0.0 { attackers_total / total } else { 0.0 });
+        }
+        points.push(ReputationPoint {
+            strategy: name.to_string(),
+            attacker_selection: Aggregate::of(&attacker_sel),
+            attacker_payoff: Aggregate::of(&attacker_pay),
+            attacker_payoff_share: Aggregate::of(&attacker_share),
+            honest_selection: Aggregate::of(&honest_sel),
+            honest_payoff: Aggregate::of(&honest_pay),
+            rounds,
+        });
+    }
+    Ok(points)
+}
+
 /// Run one mechanism on a prepared scenario (used by benches that want
 /// to time the mechanism without scenario-generation noise).
 pub fn run_on_scenario(
@@ -485,6 +584,20 @@ mod tests {
         assert_eq!(a[0].runs, b[0].runs);
         assert_eq!(a[0].completion_rate, b[0].completion_rate);
         assert_eq!(a[0].payoff_retention, b[0].payoff_retention);
+    }
+
+    #[test]
+    fn reputation_sweep_has_baseline_and_is_deterministic() {
+        let a = reputation_sweep(6, &[1, 2]).unwrap();
+        let b = reputation_sweep(6, &[1, 2]).unwrap();
+        assert_eq!(a, b, "sweep must be deterministic under fixed seeds");
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].strategy, "honest");
+        for p in &a {
+            assert!(p.attacker_selection.mean >= 0.0 && p.attacker_selection.mean <= 1.0);
+            assert!(p.attacker_payoff_share.mean >= 0.0 && p.attacker_payoff_share.mean <= 1.0);
+            assert_eq!(p.rounds, 6);
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversary;
 pub mod braun;
 pub mod config;
 pub mod dynamic;

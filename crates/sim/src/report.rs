@@ -2,7 +2,9 @@
 //! archival). Each renderer emits exactly the series the corresponding
 //! paper figure plots.
 
-use crate::experiments::{FaultSweepPoint, SelectionComparison, SweepPoint, TracePair};
+use crate::experiments::{
+    FaultSweepPoint, ReputationPoint, SelectionComparison, SweepPoint, TracePair,
+};
 use serde::Serialize;
 
 /// CSV for Fig. 1: `tasks, tvof_payoff, tvof_std, rvof_payoff, rvof_std`.
@@ -118,6 +120,27 @@ pub fn faults_csv(points: &[FaultSweepPoint]) -> String {
             p.repair_fraction,
             p.recovery_seconds.mean,
             p.runs
+        ));
+    }
+    out
+}
+
+/// CSV for the adversary-economics sweep: one row per strategy.
+pub fn reputation_csv(points: &[ReputationPoint]) -> String {
+    let mut out = String::from(
+        "strategy,attacker_selection,attacker_payoff,attacker_payoff_share,\
+         honest_selection,honest_payoff,rounds\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4},{}\n",
+            p.strategy,
+            p.attacker_selection.mean,
+            p.attacker_payoff.mean,
+            p.attacker_payoff_share.mean,
+            p.honest_selection.mean,
+            p.honest_payoff.mean,
+            p.rounds
         ));
     }
     out

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod beta;
 pub mod centrality;
 pub mod decay;
 pub mod generators;
