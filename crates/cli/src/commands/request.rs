@@ -11,6 +11,9 @@ usage: gridvo request <op> --addr HOST:PORT [op flags]
 
 ops:
   form          --seed S [--mechanism tvof|rvof] [--deadline-ms D] [--out f.json]
+  form-batch    --seeds S1,S2,.. [--mechanism tvof|rvof] [--deadline-ms D]
+                [--out f.json]    (one snapshot, one cache pass, streamed
+                per-seed responses; --out captures the whole stream)
   execute       --seed S [--plan plan.json] [--mechanism tvof|rvof]
                 [--deadline-ms D] [--out f.json]
   metrics       [--out f.json]
@@ -35,6 +38,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         &[
             "addr",
             "seed",
+            "seeds",
             "mechanism",
             "deadline-ms",
             "out",
@@ -61,6 +65,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 
     match op.as_str() {
         "form" => form(&mut client, &flags),
+        "form-batch" => form_batch(&mut client, &flags),
         "execute" => execute(&mut client, &flags),
         "metrics" => {
             let snapshot = client.metrics().map_err(|e| e.to_string())?;
@@ -91,24 +96,32 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             maybe_out(&flags, &snapshot)
         }
         "registry" => {
-            let snapshot = client.registry().map_err(|e| e.to_string())?;
+            let (snapshot, served_epoch) =
+                client.registry_with_epoch().map_err(|e| e.to_string())?;
+            // The epoch of the immutable snapshot that served the
+            // dump, reported alongside it so scripts can detect
+            // staleness without digging into the dump itself.
+            let snapshot_epoch = served_epoch.unwrap_or(snapshot.epoch);
             if flags.has("json") {
-                // Raw snapshot JSON on stdout, for scripts (`--out`
-                // still writes the same document to a file).
-                let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
+                // Snapshot JSON plus its epoch on stdout, for scripts
+                // (`--out` still writes the same document to a file).
+                let doc = RegistryDump { snapshot_epoch, snapshot };
+                let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
                 println!("{json}");
+                maybe_out(&flags, &doc)
             } else {
                 println!(
-                    "epoch {}: {} GSPs, {} tasks, {} logged events, last refresh {} power \
-                     iteration(s)",
+                    "epoch {} (snapshot epoch {}): {} GSPs, {} tasks, {} logged events, last \
+                     refresh {} power iteration(s)",
                     snapshot.epoch,
+                    snapshot_epoch,
                     snapshot.gsps,
                     snapshot.tasks,
                     snapshot.events,
                     snapshot.power_iterations,
                 );
+                maybe_out(&flags, &snapshot)
             }
-            maybe_out(&flags, &snapshot)
         }
         "report-trust" => {
             let from: usize = flags.num("from", usize::MAX)?;
@@ -195,6 +208,46 @@ fn form(client: &mut ServiceClient, flags: &Flags) -> Result<(), String> {
         }
         other => shed(other),
     }
+}
+
+/// The `registry --json` document: the snapshot plus the epoch of
+/// the immutable snapshot that served it.
+#[derive(serde::Serialize)]
+struct RegistryDump {
+    snapshot_epoch: u64,
+    snapshot: gridvo_service::RegistrySnapshot,
+}
+
+fn form_batch(client: &mut ServiceClient, flags: &Flags) -> Result<(), String> {
+    let seeds: Vec<u64> = flags
+        .require("seeds")?
+        .split(',')
+        .map(|p| p.trim().parse().map_err(|_| format!("invalid seed in --seeds: {p:?}")))
+        .collect::<Result<Vec<u64>, String>>()?;
+    let responses = client
+        .form_batch(&seeds, mechanism(flags)?, deadline(flags)?)
+        .map_err(|e| e.to_string())?;
+    for (i, response) in responses.iter().enumerate() {
+        match response {
+            Response::Form { outcome } => match &outcome.selected {
+                Some(vo) => println!(
+                    "seed {}: VO {:?}, payoff/GSP {:.2}, avg reputation {:.4} ({} iteration(s))",
+                    seeds[i],
+                    vo.members,
+                    vo.payoff_share,
+                    vo.avg_reputation,
+                    outcome.iterations.len(),
+                ),
+                None => println!("seed {}: no feasible VO", seeds[i]),
+            },
+            Response::BatchEnd { epoch, served } => {
+                println!("batch done: {served} seed(s) formed against snapshot epoch {epoch}");
+            }
+            Response::Error { message } => println!("seed {}: error: {message}", seeds[i]),
+            other => return shed(other.clone()),
+        }
+    }
+    maybe_out(flags, &responses)
 }
 
 fn execute(client: &mut ServiceClient, flags: &Flags) -> Result<(), String> {

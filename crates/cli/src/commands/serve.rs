@@ -14,7 +14,7 @@ use rand::SeedableRng;
 const HELP: &str = "\
 usage: gridvo serve [--scenario FILE | --tasks N --gsps M --seed S]
                     [--addr 127.0.0.1:0] [--workers W] [--queue Q]
-                    [--cache C] [--deadline-ms D]
+                    [--cache C] [--deadline-ms D] [--shards S]
                     [--data-dir DIR] [--fsync POLICY] [--compact-bytes B]
 
 Starts the long-running VO-formation daemon on a loopback TCP port,
@@ -29,6 +29,8 @@ down cleanly (exit 0).
   --queue        job-queue bound; beyond it requests get Busy (default 64)
   --cache        solve-cache capacity in entries, 0 disables (default 4096)
   --deadline-ms  default per-request deadline, 0 = none (default 0)
+  --shards       registry write shards (GSP id modulo S; default 8) —
+                 readers always run on lock-free epoch snapshots
 
 Durability (off by default — without --data-dir the registry lives
 purely in memory):
@@ -98,6 +100,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "queue",
             "cache",
             "deadline-ms",
+            "shards",
             "data-dir",
             "fsync",
             "compact-bytes",
@@ -152,6 +155,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         queue_capacity: flags.num("queue", 64)?,
         cache_capacity: flags.num("cache", 4096)?,
         default_deadline_ms: flags.num("deadline-ms", 0)?,
+        shards: flags.num("shards", gridvo_service::DEFAULT_SHARDS)?,
         persistence,
     };
     let handle =

@@ -1,0 +1,240 @@
+//! End-to-end crash torture: SIGKILL the durable daemon while
+//! *multiple concurrent writers* are hammering it, then prove the
+//! journal is a serializable history — its events replay onto a fresh
+//! in-memory daemon, in epoch order, to byte-identical served state.
+//!
+//! This is the subprocess-level counterpart of
+//! `crates/service/tests/torture.rs`: there the acked-op order is
+//! captured in-process; here the **journal itself** is the recorded
+//! order, and the test proves (a) recovery reaches at least the last
+//! epoch any writer saw acked, and (b) the journal's interleaving is
+//! real — replaying it through the public protocol reproduces the
+//! recovered daemon's registry and formation bytes exactly.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gridvo_core::ExecutionReceipt;
+use gridvo_service::{RegistryEvent, ServiceClient};
+use gridvo_store::JOURNAL_FILE;
+
+const GSPS: usize = 4;
+const WRITERS: usize = 4;
+const OPS_PER_WRITER: usize = 300;
+
+fn gridvo() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gridvo"))
+}
+
+/// Spawn the daemon on the fixed test scenario and block until it
+/// prints its bound address; also returns the `recovered registry at
+/// epoch N` value when the banner carries one.
+fn spawn_daemon(extra: &[&str]) -> (Child, BufReader<ChildStdout>, String, Option<u64>) {
+    let mut child = gridvo()
+        .args(["serve", "--tasks", "12", "--gsps", "4", "--seed", "7", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("daemon announces its port");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .to_string();
+    line.clear();
+    reader.read_line(&mut line).expect("daemon prints its pool banner");
+    let recovered = line
+        .trim()
+        .strip_prefix("recovered registry at epoch ")
+        .map(|n| n.parse().expect("recovery banner carries an integer epoch"));
+    (child, reader, addr, recovered)
+}
+
+fn shutdown(mut child: Child) {
+    drop(child.stdin.take());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if child.try_wait().expect("try_wait works").is_some() {
+            return;
+        }
+        if Instant::now() > deadline {
+            child.kill().ok();
+            panic!("daemon did not shut down in time");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command failed: {}\n{}",
+        String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn registry_json(addr: &str) -> String {
+    run_ok(gridvo().args(["request", "registry", "--addr", addr, "--json"]))
+}
+
+fn form_json(addr: &str, dir: &Path) -> String {
+    let out = dir.join("form.json");
+    run_ok(gridvo().args([
+        "request",
+        "form",
+        "--addr",
+        addr,
+        "--seed",
+        "9",
+        "--out",
+        out.to_str().unwrap(),
+    ]));
+    std::fs::read_to_string(&out).expect("form --out written")
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gridvo-torture-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Writer `w`'s `i`-th mutation: deterministic per thread, valid by
+/// construction, and membership-stable (trust / receipts only) so
+/// every journal event maps back onto a `gridvo request` call.
+fn storm_op(
+    client: &mut ServiceClient,
+    w: usize,
+    i: usize,
+) -> Result<u64, gridvo_service::ClientError> {
+    let a = (w + 3 * i) % GSPS;
+    let b = (a + 1 + (i % (GSPS - 1))) % GSPS;
+    match i % 3 {
+        0 => client.report_trust(a, b, 0.1 + 0.1 * ((w + i) % 8) as f64),
+        1 => client.report_receipt(ExecutionReceipt::new(w * 1000 + i, a, true, 6.0, vec![b])),
+        _ => client.report_receipt(ExecutionReceipt::new(w * 1000 + i, a, false, 9.0, vec![b])),
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn sigkill_mid_concurrent_storm_replays_the_journal_byte_for_byte() {
+    let scratch = scratch_dir("storm");
+    let data_dir = scratch.join("data");
+    let durable_flags = [
+        "--data-dir",
+        data_dir.to_str().unwrap(),
+        "--fsync",
+        "per-epoch=4",
+        "--compact-bytes",
+        "10485760", // never compact: the journal must keep the full interleaving
+    ]
+    .to_vec();
+
+    // Storm: WRITERS concurrent connections mutating at full speed,
+    // then a SIGKILL that lands mid-stream.
+    let (mut child, _reader, addr, recovered) = spawn_daemon(&durable_flags);
+    assert_eq!(recovered, None, "fresh data dir must bootstrap, not recover");
+    let last_acked = Arc::new(AtomicU64::new(0));
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let addr = addr.clone();
+            let last_acked = Arc::clone(&last_acked);
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(&addr).expect("connect");
+                for i in 0..OPS_PER_WRITER {
+                    match storm_op(&mut client, w, i) {
+                        Ok(epoch) => {
+                            last_acked.fetch_max(epoch, Ordering::SeqCst);
+                        }
+                        Err(_) => break, // the kill landed
+                    }
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(250));
+    let killed = Command::new("kill")
+        .args(["-9", &child.id().to_string()])
+        .status()
+        .expect("kill runs")
+        .success();
+    assert!(killed, "kill -9 failed");
+    for writer in writers {
+        writer.join().expect("writer thread exits");
+    }
+    child.wait().expect("killed child reaped");
+    let last_acked = last_acked.load(Ordering::SeqCst);
+    assert!(last_acked > 0, "the storm must have landed some mutations before the kill");
+
+    // Recover: the journal append happens before the ack, so no
+    // acknowledged epoch may be missing (in-flight ones whose ack the
+    // kill swallowed may legitimately be present on top).
+    let (child, _reader, addr, recovered) = spawn_daemon(&durable_flags);
+    let epoch = recovered.expect("non-empty data dir must recover");
+    assert!(
+        epoch >= last_acked,
+        "recovered epoch {epoch} lost acknowledged mutations (last ack {last_acked})"
+    );
+    let got_registry = registry_json(&addr);
+    let got_form = form_json(&addr, &scratch);
+    shutdown(child);
+
+    // The journal is the recorded interleaving: exactly `epoch` valid
+    // lines, epochs 1..=epoch in order (recovery truncated any torn
+    // tail when the daemon above reopened the store).
+    let journal = std::fs::read_to_string(data_dir.join(JOURNAL_FILE)).unwrap();
+    let events: Vec<RegistryEvent> = journal
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("journal lines are registry events"))
+        .collect();
+    assert_eq!(events.len() as u64, epoch, "journal length disagrees with the recovery banner");
+    for (i, event) in events.iter().enumerate() {
+        assert_eq!(event.epoch, i as u64 + 1, "journal epochs must be gapless and ordered");
+    }
+
+    // Replay the interleaving through the public protocol onto a
+    // fresh in-memory daemon: the served bytes must come back exactly.
+    let (replay_daemon, _reader, replay_addr, recovered) = spawn_daemon(&[]);
+    assert_eq!(recovered, None);
+    let mut client = ServiceClient::connect(&replay_addr).expect("connect");
+    for event in &events {
+        let acked = match event.op.as_str() {
+            "report_trust" => client
+                .report_trust(
+                    event.gsp.expect("trust events carry the reporter"),
+                    event.to.expect("trust events carry the subject"),
+                    event.value.expect("trust events carry the value"),
+                )
+                .expect("replayed trust report is valid"),
+            "report_receipt" => client
+                .report_receipt(event.receipt.clone().expect("receipt events carry the receipt"))
+                .expect("replayed receipt is valid"),
+            other => panic!("the storm only writes trust/receipts, journal has {other:?}"),
+        };
+        assert_eq!(acked, event.epoch, "replay must retrace the journal's epoch order");
+    }
+    let want_registry = registry_json(&replay_addr);
+    let want_form = form_json(&replay_addr, &scratch);
+    drop(client);
+    shutdown(replay_daemon);
+
+    assert_eq!(
+        got_registry, want_registry,
+        "recovered registry diverged from the journal's serial replay"
+    );
+    assert_eq!(got_form, want_form, "recovered formation diverged from the journal's replay");
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -44,6 +44,9 @@ impl VoSolveReport {
             nodes: self.nodes,
             incumbent_source: self.incumbent_source.clone(),
             members: members.to_vec(),
+            // The driver has no epoch notion; epoch-aware cache
+            // owners re-stamp on store.
+            epoch: 0,
         }
     }
 

@@ -43,6 +43,14 @@ pub struct CachedSolve {
     /// entries whose member set includes a given GSP instead of
     /// flushing everything.
     pub members: Vec<usize>,
+    /// Registry epoch the solve ran against. Like `members`, not part
+    /// of the key: cache owners use it to *age* eviction — a mutation
+    /// at epoch `e` only needs to touch entries stored before `e`,
+    /// because entries stamped at or after `e` were computed against
+    /// state that already includes the mutation. The driver itself is
+    /// epoch-ignorant and stamps `0`; epoch-aware owners re-stamp on
+    /// store (see `gridvo-service`'s `SharedSolveCache::at_epoch`).
+    pub epoch: u64,
 }
 
 /// A memo table for exact IP solves, keyed by [`solve_key`].
@@ -119,7 +127,13 @@ mod tests {
     #[test]
     fn no_cache_never_hits() {
         let mut c = NoCache;
-        let v = CachedSolve { solved: None, nodes: 3, incumbent_source: None, members: vec![0, 1] };
+        let v = CachedSolve {
+            solved: None,
+            nodes: 3,
+            incumbent_source: None,
+            members: vec![0, 1],
+            epoch: 0,
+        };
         c.store(7, &v);
         assert_eq!(c.lookup(7), None);
     }

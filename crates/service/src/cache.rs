@@ -16,13 +16,18 @@
 //! entry valid. The capacity bound exists purely to bound memory.
 //!
 //! Eviction on trust / receipt mutations is therefore a *hygiene*
-//! concern, and a **narrow** one: each entry is tagged with the
-//! member set it solved ([`CachedSolve::members`]), and
-//! [`SharedSolveCache::invalidate_members`] drops only the entries
-//! whose member set includes a touched GSP — never the whole table.
-//! Membership churn that renumbers ids (a removal) instead clears
-//! everything via [`SharedSolveCache::clear`], because stale tags can
-//! no longer target entries. `tests/cache_invalidation.rs` holds the
+//! concern, and a doubly narrow one: each entry is tagged with the
+//! member set it solved ([`CachedSolve::members`]) **and** the
+//! registry epoch it was stored against ([`CachedSolve::epoch`],
+//! stamped by [`SharedSolveCache::at_epoch`] handles). A mutation at
+//! epoch `e` calls [`SharedSolveCache::invalidate_members`] with
+//! `before_epoch = e`, dropping only entries that (a) include a
+//! touched GSP and (b) were stored *before* the mutation — an entry a
+//! concurrent batch stored against the post-mutation snapshot already
+//! reflects the new state and stays resident. Membership churn that
+//! renumbers ids (a removal) instead clears everything via
+//! [`SharedSolveCache::clear`], because stale tags can no longer
+//! target entries. `tests/cache_invalidation.rs` holds the
 //! differential guarantee: cached and uncached daemons stay
 //! byte-identical across interleaved mutations and formations.
 
@@ -64,16 +69,32 @@ pub struct CacheStats {
 }
 
 /// A clonable handle to the shared memo table (clones share storage).
+///
+/// Each handle carries an epoch *stamp*: everything stored through it
+/// is tagged with that epoch, so eviction can skip entries younger
+/// than the mutation doing the evicting. A plain `clone()` keeps the
+/// stamp; [`SharedSolveCache::at_epoch`] re-stamps.
 #[derive(Debug, Clone)]
 pub struct SharedSolveCache {
     inner: Arc<Mutex<Inner>>,
+    /// Epoch stamped onto entries stored through this handle.
+    stamp: u64,
 }
 
 impl SharedSolveCache {
     /// A cache holding at most `capacity` solves (0 disables caching:
     /// every lookup misses and nothing is stored).
     pub fn new(capacity: usize) -> Self {
-        SharedSolveCache { inner: Arc::new(Mutex::new(Inner { capacity, ..Inner::default() })) }
+        SharedSolveCache {
+            inner: Arc::new(Mutex::new(Inner { capacity, ..Inner::default() })),
+            stamp: 0,
+        }
+    }
+
+    /// A handle onto the same storage whose stores are stamped with
+    /// `epoch` — the snapshot epoch a formation resolved against.
+    pub fn at_epoch(&self, epoch: u64) -> Self {
+        SharedSolveCache { inner: Arc::clone(&self.inner), stamp: epoch }
     }
 
     /// Current counters.
@@ -82,15 +103,20 @@ impl SharedSolveCache {
         CacheStats { hits: inner.hits, misses: inner.misses, entries: inner.map.len() }
     }
 
-    /// Drop every entry whose member set includes any of `touched`,
-    /// leaving solves over disjoint member sets resident. Returns how
-    /// many entries were dropped.
-    pub fn invalidate_members(&self, touched: &[usize]) -> usize {
+    /// Drop every entry whose member set includes any of `touched`
+    /// **and** whose stamp predates `before_epoch` (the epoch of the
+    /// mutation doing the evicting), leaving solves over disjoint
+    /// member sets — and solves already stored against the
+    /// post-mutation state — resident. Returns how many entries were
+    /// dropped.
+    pub fn invalidate_members(&self, touched: &[usize], before_epoch: u64) -> usize {
         let mut inner = self.inner.lock().expect("cache lock poisoned");
         let doomed: Vec<u64> = inner
             .map
             .iter()
-            .filter(|(_, v)| v.members.iter().any(|m| touched.contains(m)))
+            .filter(|(_, v)| {
+                v.epoch < before_epoch && v.members.iter().any(|m| touched.contains(m))
+            })
             .map(|(&k, _)| k)
             .collect();
         for key in &doomed {
@@ -132,7 +158,9 @@ impl SolveCache for SharedSolveCache {
         if inner.capacity == 0 {
             return;
         }
-        inner.map.insert(key, value.clone());
+        let mut stored = value.clone();
+        stored.epoch = self.stamp;
+        inner.map.insert(key, stored);
         inner.touch(key);
         while inner.map.len() > inner.capacity {
             if let Some(old) = inner.order.pop_front() {
@@ -147,12 +175,17 @@ mod tests {
     use super::*;
 
     fn entry(nodes: u64) -> CachedSolve {
-        CachedSolve { solved: None, nodes, incumbent_source: None, members: vec![0, 1] }
+        CachedSolve { solved: None, nodes, incumbent_source: None, members: vec![0, 1], epoch: 0 }
     }
 
     fn entry_for(nodes: u64, members: Vec<usize>) -> CachedSolve {
-        CachedSolve { solved: None, nodes, incumbent_source: None, members }
+        CachedSolve { solved: None, nodes, incumbent_source: None, members, epoch: 0 }
     }
+
+    /// Mutations in the pre-epoch tests all "happen after" every
+    /// store, so member-targeted eviction behaves as it did before
+    /// epochs existed.
+    const LATER: u64 = u64::MAX;
 
     #[test]
     fn hit_and_miss_counters() {
@@ -214,14 +247,39 @@ mod tests {
         c.store(1, &entry_for(1, vec![0, 1, 2]));
         c.store(2, &entry_for(2, vec![0, 1]));
         c.store(3, &entry_for(3, vec![3, 4]));
-        assert_eq!(c.invalidate_members(&[2]), 1, "only the entry containing GSP 2 goes");
+        assert_eq!(c.invalidate_members(&[2], LATER), 1, "only the entry containing GSP 2 goes");
         assert!(c.lookup(1).is_none());
         assert!(c.lookup(2).is_some());
         assert!(c.lookup(3).is_some());
-        assert_eq!(c.invalidate_members(&[7]), 0, "untouched member sets stay resident");
+        assert_eq!(c.invalidate_members(&[7], LATER), 0, "untouched member sets stay resident");
         c.clear();
         assert_eq!(c.stats().entries, 0);
         assert!(c.lookup(2).is_none());
+    }
+
+    #[test]
+    fn invalidation_skips_entries_stored_at_or_after_the_mutation() {
+        let base = SharedSolveCache::new(8);
+        base.at_epoch(3).store(1, &entry_for(1, vec![0, 1]));
+        base.at_epoch(7).store(2, &entry_for(2, vec![0, 1]));
+        // A mutation at epoch 7 touching GSP 0: only the epoch-3
+        // entry predates it.
+        assert_eq!(base.invalidate_members(&[0], 7), 1);
+        assert!(base.clone().lookup(1).is_none(), "pre-mutation entry evicted");
+        assert_eq!(
+            base.clone().lookup(2).unwrap().epoch,
+            7,
+            "entry stored against the mutated state survives"
+        );
+    }
+
+    #[test]
+    fn at_epoch_stamps_stores_and_shares_storage() {
+        let base = SharedSolveCache::new(8);
+        let mut stamped = base.at_epoch(42);
+        stamped.store(5, &entry(9));
+        assert_eq!(base.clone().lookup(5).unwrap().epoch, 42, "store overrode the driver's 0");
+        assert_eq!(base.stats().entries, 1, "handles share one table");
     }
 
     #[test]
@@ -229,7 +287,7 @@ mod tests {
         let mut c = SharedSolveCache::new(2);
         c.store(1, &entry_for(1, vec![0]));
         c.store(2, &entry_for(2, vec![1]));
-        c.invalidate_members(&[0]);
+        c.invalidate_members(&[0], LATER);
         c.store(3, &entry_for(3, vec![2]));
         // Capacity 2 with entry 1 gone: both 2 and 3 must fit.
         assert!(c.lookup(2).is_some());

@@ -93,6 +93,40 @@ impl ServiceClient {
         self.request(&Request::Form { seed, mechanism, deadline_ms })
     }
 
+    /// Run a batch of formations against one registry snapshot. The
+    /// server streams one reply line per seed (each byte-identical to
+    /// the equivalent sequential `form`) followed by a terminating
+    /// [`Response::BatchEnd`]; this returns every line in order. A
+    /// shed batch returns a single `Busy` / `DeadlineExceeded`.
+    pub fn form_batch(
+        &mut self,
+        seeds: &[u64],
+        mechanism: MechanismKind,
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<Response>, ClientError> {
+        let mut wire =
+            encode(&Request::FormBatch { seeds: seeds.to_vec(), mechanism, deadline_ms });
+        wire.push('\n');
+        self.writer.write_all(wire.as_bytes())?;
+        self.writer.flush()?;
+        let mut responses = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::ServerClosed);
+            }
+            let response: Response = decode(line.trim()).map_err(ClientError::Protocol)?;
+            let terminal = matches!(
+                response,
+                Response::BatchEnd { .. } | Response::Busy | Response::DeadlineExceeded
+            );
+            responses.push(response);
+            if terminal {
+                return Ok(responses);
+            }
+        }
+    }
+
     /// Run a formation + execution and return the raw response.
     pub fn execute(
         &mut self,
@@ -114,8 +148,14 @@ impl ServiceClient {
 
     /// Fetch the registry snapshot.
     pub fn registry(&mut self) -> Result<RegistrySnapshot, ClientError> {
+        self.registry_with_epoch().map(|(snapshot, _)| snapshot)
+    }
+
+    /// Fetch the registry snapshot plus the epoch of the immutable
+    /// snapshot that served it (`None` only from pre-epoch daemons).
+    pub fn registry_with_epoch(&mut self) -> Result<(RegistrySnapshot, Option<u64>), ClientError> {
         match self.request(&Request::Registry)? {
-            Response::Registry { snapshot } => Ok(snapshot),
+            Response::Registry { snapshot, epoch } => Ok((snapshot, epoch)),
             other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
     }

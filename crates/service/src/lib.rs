@@ -14,6 +14,14 @@
 //!   event log, with the pool-wide reputation vector refreshed
 //!   incrementally (power-method warm starts from the previous
 //!   vector);
+//! * [`shard::ShardedRegistry`] — the concurrency shell around the
+//!   pool: writes stage on per-GSP-id shard locks and commit in one
+//!   short critical section that also publishes a fresh immutable
+//!   [`shard::EpochSnapshot`] (Arc-swapped); reads — formations,
+//!   batches, registry dumps — clone the current `Arc` and never
+//!   block a writer, so every response is consistent with exactly one
+//!   epoch (`tests/torture.rs` proves this byte-for-byte against a
+//!   serial replay of the acked mutation order);
 //! * [`cache::SharedSolveCache`] — a bounded, shared memo table for
 //!   the per-round exact IP solves, keyed by
 //!   [`gridvo_core::solve_cache::solve_key`]. Repeated or overlapping
@@ -49,6 +57,7 @@ pub mod persist;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod shard;
 
 pub use cache::SharedSolveCache;
 pub use client::{ClientError, ServiceClient};
@@ -57,6 +66,7 @@ pub use persist::{DurableRegistry, PersistConfig};
 pub use protocol::{MechanismKind, Request, Response};
 pub use registry::{GspRegistry, PersistedState, RegistryEvent, RegistrySnapshot};
 pub use server::{ServerConfig, ServerHandle};
+pub use shard::{EpochSnapshot, ShardedRegistry, Touched, DEFAULT_SHARDS};
 
 /// Errors from registry operations and request handling.
 #[derive(Debug, Clone, PartialEq)]

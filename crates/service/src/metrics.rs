@@ -97,6 +97,7 @@ impl HistogramSnapshot {
 struct Inner {
     requests_total: u64,
     form_requests: u64,
+    batch_requests: u64,
     execute_requests: u64,
     registry_mutations: u64,
     snapshot_requests: u64,
@@ -122,6 +123,9 @@ pub struct MetricsSnapshot {
     pub requests_total: u64,
     /// Formation requests accepted into the queue.
     pub form_requests: u64,
+    /// Batch-formation requests accepted into the queue (each may
+    /// stream many `form` reply lines).
+    pub batch_requests: u64,
     /// Execution requests accepted into the queue.
     pub execute_requests: u64,
     /// Registry mutations (add/remove/trust report).
@@ -168,6 +172,7 @@ impl Metrics {
             m.requests_total += 1;
             match op {
                 "form" => m.form_requests += 1,
+                "form_batch" => m.batch_requests += 1,
                 "execute" => m.execute_requests += 1,
                 "add_gsp" | "remove_gsp" | "report_trust" => m.registry_mutations += 1,
                 "metrics" | "registry" => m.snapshot_requests += 1,
@@ -214,6 +219,7 @@ impl Metrics {
             MetricsSnapshot {
                 requests_total: m.requests_total,
                 form_requests: m.form_requests,
+                batch_requests: m.batch_requests,
                 execute_requests: m.execute_requests,
                 registry_mutations: m.registry_mutations,
                 snapshot_requests: m.snapshot_requests,
@@ -255,7 +261,9 @@ mod tests {
     #[test]
     fn counters_aggregate_by_op() {
         let m = Metrics::new();
-        for op in ["form", "form", "execute", "report_trust", "metrics", "ping", "bogus"] {
+        for op in
+            ["form", "form", "form_batch", "execute", "report_trust", "metrics", "ping", "bogus"]
+        {
             m.request_received(op);
         }
         m.busy_rejected();
@@ -263,8 +271,9 @@ mod tests {
         m.request_errored();
         m.set_queue_depth(4);
         let s = m.snapshot(CacheStats { hits: 3, misses: 1, entries: 2 });
-        assert_eq!(s.requests_total, 7);
+        assert_eq!(s.requests_total, 8);
         assert_eq!(s.form_requests, 2);
+        assert_eq!(s.batch_requests, 1);
         assert_eq!(s.execute_requests, 1);
         assert_eq!(s.registry_mutations, 1);
         assert_eq!(s.snapshot_requests, 1);

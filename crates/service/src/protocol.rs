@@ -63,6 +63,20 @@ pub enum Request {
         /// server's default.
         deadline_ms: Option<u64>,
     },
+    /// Run Algorithm 1 once per seed, every seed against the *same*
+    /// epoch snapshot and one cache handle. The response is a
+    /// stream: one [`Response::Form`] line per seed (in seed order,
+    /// byte-identical to the equivalent sequential `form` requests
+    /// against a quiesced daemon), terminated by a
+    /// [`Response::BatchEnd`] line carrying the snapshot epoch.
+    FormBatch {
+        /// One formation per seed, in order.
+        seeds: Vec<u64>,
+        /// TVOF or RVOF (applied to every seed).
+        mechanism: MechanismKind,
+        /// Per-request deadline override (ms) for the whole batch.
+        deadline_ms: Option<u64>,
+    },
     /// Run Algorithm 1, then execute the selected VO against a fault
     /// plan.
     Execute {
@@ -122,6 +136,7 @@ impl Request {
     pub fn op(&self) -> &'static str {
         match self {
             Request::Form { .. } => "form",
+            Request::FormBatch { .. } => "form_batch",
             Request::Execute { .. } => "execute",
             Request::AddGsp { .. } => "add_gsp",
             Request::RemoveGsp { .. } => "remove_gsp",
@@ -141,6 +156,11 @@ impl Serialize for Request {
         match self {
             Request::Form { seed, mechanism, deadline_ms } => {
                 fields.push(("seed".to_string(), seed.to_value()));
+                fields.push(("mechanism".to_string(), Value::Str(mechanism.as_str().to_string())));
+                fields.push(("deadline_ms".to_string(), deadline_ms.to_value()));
+            }
+            Request::FormBatch { seeds, mechanism, deadline_ms } => {
+                fields.push(("seeds".to_string(), seeds.to_value()));
                 fields.push(("mechanism".to_string(), Value::Str(mechanism.as_str().to_string())));
                 fields.push(("deadline_ms".to_string(), deadline_ms.to_value()));
             }
@@ -186,6 +206,11 @@ impl Deserialize for Request {
         match op.as_str() {
             "form" => Ok(Request::Form {
                 seed: de_field(v, "seed")?,
+                mechanism: mechanism(v)?,
+                deadline_ms: de_field(v, "deadline_ms")?,
+            }),
+            "form_batch" => Ok(Request::FormBatch {
+                seeds: de_field(v, "seeds")?,
                 mechanism: mechanism(v)?,
                 deadline_ms: de_field(v, "deadline_ms")?,
             }),
@@ -238,10 +263,24 @@ pub enum Response {
         /// New GSP id, for `add_gsp`.
         id: Option<usize>,
     },
+    /// Terminates a `form_batch` response stream.
+    BatchEnd {
+        /// The epoch snapshot every seed in the batch resolved
+        /// against — the batch's staleness bound.
+        epoch: u64,
+        /// How many seeds were actually formed (every `Form` line
+        /// streamed before this one).
+        served: u64,
+    },
     /// Registry snapshot.
     Registry {
         /// The current pool state.
         snapshot: RegistrySnapshot,
+        /// Epoch of the immutable snapshot that served this dump
+        /// (equals `snapshot.epoch`; carried at the top level so
+        /// clients can check staleness without parsing the dump).
+        /// `None` on wire lines written before the field existed.
+        epoch: Option<u64>,
     },
     /// Metrics snapshot.
     Metrics {
@@ -269,6 +308,7 @@ impl Response {
             Response::Form { .. } => "form",
             Response::Execute { .. } => "execute",
             Response::Ack { .. } => "ack",
+            Response::BatchEnd { .. } => "batch_end",
             Response::Registry { .. } => "registry",
             Response::Metrics { .. } => "metrics",
             Response::Pong => "pong",
@@ -295,8 +335,13 @@ impl Serialize for Response {
                 fields.push(("epoch".to_string(), epoch.to_value()));
                 fields.push(("id".to_string(), id.to_value()));
             }
-            Response::Registry { snapshot } => {
+            Response::BatchEnd { epoch, served } => {
+                fields.push(("epoch".to_string(), epoch.to_value()));
+                fields.push(("served".to_string(), served.to_value()));
+            }
+            Response::Registry { snapshot, epoch } => {
                 fields.push(("snapshot".to_string(), snapshot.to_value()));
+                fields.push(("epoch".to_string(), epoch.to_value()));
             }
             Response::Metrics { snapshot } => {
                 fields.push(("snapshot".to_string(), snapshot.to_value()));
@@ -320,7 +365,14 @@ impl Deserialize for Response {
                 report: de_field(v, "report")?,
             }),
             "ack" => Ok(Response::Ack { epoch: de_field(v, "epoch")?, id: de_field(v, "id")? }),
-            "registry" => Ok(Response::Registry { snapshot: de_field(v, "snapshot")? }),
+            "batch_end" => Ok(Response::BatchEnd {
+                epoch: de_field(v, "epoch")?,
+                served: de_field(v, "served")?,
+            }),
+            "registry" => Ok(Response::Registry {
+                snapshot: de_field(v, "snapshot")?,
+                epoch: de_field(v, "epoch")?,
+            }),
             "metrics" => Ok(Response::Metrics { snapshot: de_field(v, "snapshot")? }),
             "pong" => Ok(Response::Pong),
             "busy" => Ok(Response::Busy),
@@ -351,6 +403,11 @@ mod tests {
     fn requests_round_trip() {
         let reqs = vec![
             Request::Form { seed: 7, mechanism: MechanismKind::Rvof, deadline_ms: Some(250) },
+            Request::FormBatch {
+                seeds: vec![3, 1, 4, 1, 5],
+                mechanism: MechanismKind::Tvof,
+                deadline_ms: Some(900),
+            },
             Request::Execute {
                 seed: 1,
                 mechanism: MechanismKind::Tvof,
@@ -404,6 +461,7 @@ mod tests {
             Response::DeadlineExceeded,
             Response::Error { message: "queue exploded".to_string() },
             Response::Ack { epoch: 4, id: Some(2) },
+            Response::BatchEnd { epoch: 17, served: 5 },
         ] {
             let back: Response = decode(&encode(&resp)).unwrap();
             assert_eq!(resp, back);

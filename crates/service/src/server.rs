@@ -7,16 +7,30 @@
 //!   spawning one connection thread per accepted client. Polling
 //!   (rather than a blocking `accept`) lets shutdown work without a
 //!   self-connect trick.
-//! * **Connection threads** — read one JSON line at a time.
-//!   Registry mutations and snapshot reads are answered inline (they
-//!   take microseconds under the registry lock). Solve-bearing
-//!   requests (`form`, `execute`, `ping`) are enqueued for the worker
-//!   pool and the connection blocks on a per-job channel for the
-//!   reply — so one slow client never ties up a worker with I/O.
+//! * **Connection threads** — read one JSON line at a time (raw
+//!   bytes; a non-UTF-8 line gets a typed error instead of killing
+//!   the connection). Registry mutations are answered inline through
+//!   the sharded write path; registry / metrics snapshots are
+//!   answered inline from the current [`EpochSnapshot`] without
+//!   taking any registry lock. Solve-bearing requests (`form`,
+//!   `form_batch`, `execute`, `ping`) are enqueued for the worker
+//!   pool and the connection streams reply lines off a per-job
+//!   channel — so one slow client never ties up a worker with I/O,
+//!   and a batch's per-seed lines go out as they are computed.
 //! * **Workers** — `workers` threads popping the bounded queue
 //!   (Mutex + Condvar). Rayon parallelism stays *inside* a solve
 //!   ([`gridvo_solver::parallel`]); the pool is the only place
 //!   request-level concurrency happens.
+//!
+//! ## Snapshot consistency
+//!
+//! Every read-side answer — a formation, every seed of a batch, a
+//! registry dump — is computed from exactly one
+//! [`EpochSnapshot`](crate::shard::EpochSnapshot) pinned at the start
+//! of the request. Writers Arc-swap a fresh snapshot per mutation
+//! (see [`crate::shard`]), so a response can never mix state from two
+//! epochs; `tests/torture.rs` checks served bytes against a serial
+//! replay of the acked mutation order.
 //!
 //! ## Admission control
 //!
@@ -41,8 +55,9 @@ use rand::SeedableRng;
 
 use crate::cache::SharedSolveCache;
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::persist::{DurableRegistry, PersistConfig};
+use crate::persist::PersistConfig;
 use crate::protocol::{decode, encode, MechanismKind, Request, Response};
+use crate::shard::{EpochSnapshot, ShardedRegistry, Touched, DEFAULT_SHARDS};
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -57,6 +72,8 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Default per-request deadline in ms; 0 means no deadline.
     pub default_deadline_ms: u64,
+    /// Registry write shards (GSP id modulo `shards`); clamped ≥ 1.
+    pub shards: usize,
     /// Journal registry mutations to this data directory; `None` (the
     /// default) keeps the registry purely in memory, exactly the
     /// pre-durability behavior.
@@ -71,12 +88,16 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache_capacity: 4096,
             default_deadline_ms: 0,
+            shards: DEFAULT_SHARDS,
             persistence: None,
         }
     }
 }
 
-/// One queued solve-bearing request.
+/// One queued solve-bearing request. The worker sends one `Response`
+/// per reply line (a batch sends several) and drops the sender when
+/// the job is done; the connection thread streams until the channel
+/// closes.
 struct Job {
     request: Request,
     enqueued: Instant,
@@ -86,7 +107,7 @@ struct Job {
 
 /// State shared by every thread of one server.
 struct Shared {
-    registry: Mutex<DurableRegistry>,
+    registry: ShardedRegistry,
     cache: SharedSolveCache,
     metrics: Metrics,
     queue: Mutex<VecDeque<Job>>,
@@ -116,11 +137,12 @@ impl ServerHandle {
     /// Bind and start a daemon serving `scenario`'s provider pool.
     /// With [`ServerConfig::persistence`] set and a non-empty data
     /// directory, the durable state wins over `scenario` — see
-    /// [`DurableRegistry::open`].
+    /// [`crate::persist::DurableRegistry::open`].
     pub fn spawn(scenario: &FormationScenario, config: ServerConfig) -> std::io::Result<Self> {
-        let (registry, recovered_epoch) = DurableRegistry::open(
+        let (registry, recovered_epoch) = ShardedRegistry::open(
             scenario,
             FormationConfig::default().reputation,
+            config.shards,
             config.persistence.as_ref(),
         )
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
@@ -129,7 +151,7 @@ impl ServerHandle {
         let addr = listener.local_addr()?;
 
         let shared = Arc::new(Shared {
-            registry: Mutex::new(registry),
+            registry,
             cache: SharedSolveCache::new(config.cache_capacity),
             metrics: Metrics::new(),
             queue: Mutex::new(VecDeque::new()),
@@ -168,14 +190,14 @@ impl ServerHandle {
 
     /// Journal / snapshot I/O counters, when persistence is on.
     pub fn store_stats(&self) -> Option<gridvo_store::StoreStats> {
-        self.shared.registry.lock().expect("registry lock poisoned").store_stats()
+        self.shared.registry.store_stats()
     }
 
     /// A point-in-time view of the served registry (the recovered
     /// pool when persistence kicked in, not necessarily the spawn
     /// scenario).
     pub fn registry_snapshot(&self) -> crate::registry::RegistrySnapshot {
-        self.shared.registry.lock().expect("registry lock poisoned").registry().snapshot()
+        self.shared.registry.snapshot().view.clone()
     }
 
     /// The current metrics, straight from shared state (no request).
@@ -204,6 +226,11 @@ fn listener_loop(listener: TcpListener, shared: &Arc<Shared>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                // Without this, Nagle holds every streamed line after
+                // the first until the client's delayed ACK (~40 ms):
+                // a multi-line `form_batch` response would be slower
+                // than the sequential forms it replaces.
+                stream.set_nodelay(true).ok();
                 let shared = Arc::clone(shared);
                 connections.push(std::thread::spawn(move || connection_loop(stream, &shared)));
             }
@@ -219,6 +246,28 @@ fn listener_loop(listener: TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// How a dispatched request answers: one line, or a worker-fed stream
+/// of lines (each written and flushed as it arrives).
+enum Dispatched {
+    // Boxed: `Response` can carry a whole `FormationOutcome`, which
+    // would otherwise dwarf the `Stream` variant.
+    One(Box<Response>),
+    Stream(mpsc::Receiver<Response>),
+}
+
+impl Dispatched {
+    fn one(response: Response) -> Self {
+        Dispatched::One(Box::new(response))
+    }
+}
+
+fn write_line(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut wire = encode(response);
+    wire.push('\n');
+    writer.write_all(wire.as_bytes())?;
+    writer.flush()
+}
+
 fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     // Short read timeout so the thread notices shutdown while idle.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
@@ -227,12 +276,20 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut buf: Vec<u8> = Vec::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {}
+        // Raw bytes, not `read_line`: a client feeding us non-UTF-8
+        // garbage deserves a typed error, not a dropped connection.
+        // `buf` is only cleared after a complete line is handled, so
+        // a read timeout mid-line never loses the partial prefix.
+        let complete = match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return; // client closed
+                }
+                true // EOF terminated the final, newline-less line
+            }
+            Ok(_) => buf.last() == Some(&b'\n'),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -240,27 +297,50 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                continue;
+                false
             }
             Err(_) => return,
-        }
-        if line.trim().is_empty() {
+        };
+        if !complete {
             continue;
         }
-        let response = match decode::<Request>(line.trim()) {
-            Ok(request) => {
-                shared.metrics.request_received(request.op());
-                dispatch(request, shared)
+        let dispatched = match std::str::from_utf8(&buf) {
+            Ok(text) if text.trim().is_empty() => {
+                buf.clear();
+                continue;
             }
-            Err(e) => {
+            Ok(text) => match decode::<Request>(text.trim()) {
+                Ok(request) => {
+                    shared.metrics.request_received(request.op());
+                    dispatch(request, shared)
+                }
+                Err(e) => {
+                    shared.metrics.request_errored();
+                    Dispatched::one(Response::Error { message: format!("bad request: {e}") })
+                }
+            },
+            Err(_) => {
                 shared.metrics.request_errored();
-                Response::Error { message: format!("bad request: {e}") }
+                Dispatched::one(Response::Error { message: "bad request: not UTF-8".to_string() })
             }
         };
-        let mut wire = encode(&response);
-        wire.push('\n');
-        if writer.write_all(wire.as_bytes()).is_err() || writer.flush().is_err() {
-            return;
+        buf.clear();
+        match dispatched {
+            Dispatched::One(response) => {
+                if write_line(&mut writer, &response).is_err() {
+                    return;
+                }
+            }
+            Dispatched::Stream(rx) => {
+                // The worker drops the sender when the job is done
+                // (or the shutdown flush answers `Busy`); either way
+                // the iterator ends.
+                for response in rx {
+                    if write_line(&mut writer, &response).is_err() {
+                        return;
+                    }
+                }
+            }
         }
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -270,18 +350,19 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
 
 /// Route one request: inline for registry/snapshot ops, queued for
 /// solve-bearing ops.
-fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
+fn dispatch(request: Request, shared: &Arc<Shared>) -> Dispatched {
     match request {
-        Request::AddGsp { speed_gflops, cost, time } => {
-            let mut reg = shared.registry.lock().expect("registry lock poisoned");
-            match reg.add_gsp(speed_gflops, &cost, &time) {
+        Request::AddGsp { speed_gflops, cost, time } => Dispatched::one(
+            match shared
+                .registry
+                .mutate(Touched::All, |reg| reg.add_gsp(speed_gflops, &cost, &time))
+            {
                 Ok((id, epoch)) => Response::Ack { epoch, id: Some(id) },
                 Err(e) => error_response(shared, e.to_string()),
-            }
-        }
+            },
+        ),
         Request::RemoveGsp { id } => {
-            let mut reg = shared.registry.lock().expect("registry lock poisoned");
-            match reg.remove_gsp(id) {
+            Dispatched::one(match shared.registry.mutate(Touched::All, |reg| reg.remove_gsp(id)) {
                 Ok(epoch) => {
                     // Removal renumbers ids, so member tags can no
                     // longer address entries: flush wholesale.
@@ -289,40 +370,63 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
                     Response::Ack { epoch, id: None }
                 }
                 Err(e) => error_response(shared, e.to_string()),
-            }
+            })
         }
         Request::ReportTrust { from, to, value } => {
-            let mut reg = shared.registry.lock().expect("registry lock poisoned");
-            match reg.report_trust(from, to, value) {
-                Ok(epoch) => {
-                    // Narrow eviction: only solves whose member set
-                    // includes a touched GSP (correctness never needs
-                    // this — the solve key covers solver inputs only —
-                    // so the untouched entries stay hot).
-                    shared.cache.invalidate_members(&[from, to]);
-                    Response::Ack { epoch, id: None }
-                }
-                Err(e) => error_response(shared, e.to_string()),
-            }
+            let touched = [from, to];
+            Dispatched::one(
+                match shared
+                    .registry
+                    .mutate(Touched::Ids(&touched), |reg| reg.report_trust(from, to, value))
+                {
+                    Ok(epoch) => {
+                        // Narrow eviction, in two dimensions: only solves
+                        // whose member set intersects the touched shards
+                        // (correctness never needs this — the solve key
+                        // covers solver inputs only — so untouched shards
+                        // stay hot), and only entries stored *before*
+                        // this mutation's epoch (a solve already computed
+                        // against the new snapshot stays resident).
+                        shared
+                            .cache
+                            .invalidate_members(&shared.registry.shard_members(&touched), epoch);
+                        Response::Ack { epoch, id: None }
+                    }
+                    Err(e) => error_response(shared, e.to_string()),
+                },
+            )
         }
         Request::ReportReceipt { receipt } => {
-            let mut reg = shared.registry.lock().expect("registry lock poisoned");
-            match reg.report_receipt(&receipt) {
-                Ok(epoch) => {
-                    shared.cache.invalidate_members(&[receipt.gsp]);
-                    Response::Ack { epoch, id: None }
-                }
-                Err(e) => error_response(shared, e.to_string()),
-            }
+            let touched = [receipt.gsp];
+            Dispatched::one(
+                match shared
+                    .registry
+                    .mutate(Touched::Ids(&touched), |reg| reg.report_receipt(&receipt))
+                {
+                    Ok(epoch) => {
+                        shared
+                            .cache
+                            .invalidate_members(&shared.registry.shard_members(&touched), epoch);
+                        Response::Ack { epoch, id: None }
+                    }
+                    Err(e) => error_response(shared, e.to_string()),
+                },
+            )
         }
         Request::Registry => {
-            let reg = shared.registry.lock().expect("registry lock poisoned");
-            Response::Registry { snapshot: reg.registry().snapshot() }
+            let snapshot = shared.registry.snapshot();
+            Dispatched::one(Response::Registry {
+                snapshot: snapshot.view.clone(),
+                epoch: Some(snapshot.epoch),
+            })
         }
-        Request::Metrics => Response::Metrics { snapshot: shared.metrics_snapshot() },
-        queued @ (Request::Form { .. } | Request::Execute { .. } | Request::Ping { .. }) => {
-            enqueue_and_wait(queued, shared)
+        Request::Metrics => {
+            Dispatched::one(Response::Metrics { snapshot: shared.metrics_snapshot() })
         }
+        queued @ (Request::Form { .. }
+        | Request::FormBatch { .. }
+        | Request::Execute { .. }
+        | Request::Ping { .. }) => enqueue(queued, shared),
     }
 }
 
@@ -331,9 +435,11 @@ fn error_response(shared: &Arc<Shared>, message: String) -> Response {
     Response::Error { message }
 }
 
-fn enqueue_and_wait(request: Request, shared: &Arc<Shared>) -> Response {
+fn enqueue(request: Request, shared: &Arc<Shared>) -> Dispatched {
     let deadline = match &request {
-        Request::Form { deadline_ms, .. } | Request::Execute { deadline_ms, .. } => {
+        Request::Form { deadline_ms, .. }
+        | Request::FormBatch { deadline_ms, .. }
+        | Request::Execute { deadline_ms, .. } => {
             deadline_ms.map(Duration::from_millis).or(shared.default_deadline)
         }
         _ => shared.default_deadline,
@@ -343,14 +449,13 @@ fn enqueue_and_wait(request: Request, shared: &Arc<Shared>) -> Response {
         let mut queue = shared.queue.lock().expect("queue lock poisoned");
         if queue.len() >= shared.queue_capacity {
             shared.metrics.busy_rejected();
-            return Response::Busy;
+            return Dispatched::one(Response::Busy);
         }
         queue.push_back(Job { request, enqueued: Instant::now(), deadline, reply: tx });
         shared.metrics.set_queue_depth(queue.len());
     }
     shared.queue_cv.notify_one();
-    // The worker (or shutdown flush) always sends exactly one reply.
-    rx.recv().unwrap_or(Response::Busy)
+    Dispatched::Stream(rx)
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -382,32 +487,59 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         }
         let served_at = Instant::now();
-        let response = serve(job.request, shared);
+        serve(job.request, shared, &job.reply);
         shared.metrics.record_service_ms(served_at.elapsed().as_secs_f64() * 1e3);
-        let _ = job.reply.send(response);
+        // `job.reply` drops here, closing the connection's stream.
     }
 }
 
-/// Execute one dequeued job. Solves run against a point-in-time clone
-/// of the registry's scenario, so the registry lock is held only for
-/// the clone — mutations interleave freely with long solves.
-fn serve(request: Request, shared: &Arc<Shared>) -> Response {
+/// Execute one dequeued job, streaming reply lines into `reply`.
+/// Solves run against the epoch snapshot pinned at the start of the
+/// job — no registry lock is held during a solve, and every seed of a
+/// batch sees the same epoch.
+fn serve(request: Request, shared: &Arc<Shared>, reply: &mpsc::Sender<Response>) {
     match request {
         Request::Ping { sleep_ms } => {
             std::thread::sleep(Duration::from_millis(sleep_ms));
-            Response::Pong
+            let _ = reply.send(Response::Pong);
         }
-        Request::Form { seed, mechanism, .. } => match run_formation(shared, seed, mechanism) {
-            Ok((outcome, _)) => Response::Form { outcome },
-            Err(message) => error_response(shared, message),
-        },
+        Request::Form { seed, mechanism, .. } => {
+            let snapshot = shared.registry.snapshot();
+            let response = match run_formation(shared, &snapshot, seed, mechanism) {
+                Ok(outcome) => Response::Form { outcome },
+                Err(message) => error_response(shared, message),
+            };
+            let _ = reply.send(response);
+        }
+        Request::FormBatch { seeds, mechanism, .. } => {
+            let snapshot = shared.registry.snapshot();
+            let mut served = 0u64;
+            for &seed in &seeds {
+                let response = match run_formation(shared, &snapshot, seed, mechanism) {
+                    Ok(outcome) => {
+                        served += 1;
+                        Response::Form { outcome }
+                    }
+                    Err(message) => error_response(shared, message),
+                };
+                if reply.send(response).is_err() {
+                    return; // client gone: stop solving for it
+                }
+            }
+            let _ = reply.send(Response::BatchEnd { epoch: snapshot.epoch, served });
+        }
         Request::Execute { seed, mechanism, faults, .. } => {
-            match run_execution(shared, seed, mechanism, &faults) {
+            let snapshot = shared.registry.snapshot();
+            let response = match run_execution(shared, &snapshot, seed, mechanism, &faults) {
                 Ok((outcome, report)) => Response::Execute { outcome, report },
                 Err(message) => error_response(shared, message),
-            }
+            };
+            let _ = reply.send(response);
         }
-        other => error_response(shared, format!("op {:?} is not queueable", other.op())),
+        other => {
+            let _ =
+                reply.send(error_response(shared, format!("op {:?} is not queueable", other.op())));
+        }
     }
 }
 
@@ -418,28 +550,28 @@ fn mechanism_for(kind: MechanismKind) -> Mechanism {
     }
 }
 
-type Formed = (gridvo_core::FormationOutcome, FormationScenario);
-
 fn run_formation(
     shared: &Arc<Shared>,
+    snapshot: &EpochSnapshot,
     seed: u64,
     kind: MechanismKind,
-) -> std::result::Result<Formed, String> {
-    let scenario = {
-        let reg = shared.registry.lock().expect("registry lock poisoned");
-        reg.registry().scenario().map_err(|e| e.to_string())?
-    };
+) -> std::result::Result<gridvo_core::FormationOutcome, String> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut cache = shared.cache.clone();
+    // Stores through this handle are stamped with the snapshot's
+    // epoch, so a mutation committing concurrently (at a later epoch)
+    // still evicts them — only entries stored against a state that
+    // already includes a mutation survive it.
+    let mut cache = shared.cache.at_epoch(snapshot.epoch);
     let mut outcome = mechanism_for(kind)
-        .run_cached(&scenario, &mut rng, &mut cache)
+        .run_cached(&snapshot.scenario, &mut rng, &mut cache)
         .map_err(|e| e.to_string())?;
     outcome.zero_timings();
-    Ok((outcome, scenario))
+    Ok(outcome)
 }
 
 fn run_execution(
     shared: &Arc<Shared>,
+    snapshot: &EpochSnapshot,
     seed: u64,
     kind: MechanismKind,
     faults: &FaultPlan,
@@ -447,11 +579,12 @@ fn run_execution(
     (gridvo_core::FormationOutcome, Option<gridvo_core::ExecutionReport>),
     String,
 > {
-    let (outcome, scenario) = run_formation(shared, seed, kind)?;
+    let outcome = run_formation(shared, snapshot, seed, kind)?;
     let report = match &outcome.selected {
         Some(vo) => {
-            let mut report =
-                mechanism_for(kind).execute(&scenario, vo, faults).map_err(|e| e.to_string())?;
+            let mut report = mechanism_for(kind)
+                .execute(&snapshot.scenario, vo, faults)
+                .map_err(|e| e.to_string())?;
             report.zero_timings();
             Some(report)
         }

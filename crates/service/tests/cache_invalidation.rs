@@ -17,6 +17,7 @@ use gridvo_service::protocol::MechanismKind;
 use gridvo_service::{ServerConfig, ServerHandle, ServiceClient};
 use gridvo_sim::config::TableI;
 use gridvo_sim::instance_gen::ScenarioGenerator;
+use proptest::prelude::*;
 use rand::SeedableRng;
 
 fn scenario() -> FormationScenario {
@@ -28,6 +29,7 @@ fn scenario() -> FormationScenario {
 /// One step of the interleaved workload.
 enum Step {
     Form { seed: u64 },
+    Batch { seeds: Vec<u64> },
     Trust { from: usize, to: usize, value: f64 },
     Receipt { receipt: ExecutionReceipt },
 }
@@ -60,15 +62,19 @@ fn workload() -> Vec<Step> {
     ]
 }
 
-/// Run the workload against one daemon, returning every response as
+/// Run a workload against one daemon, returning every response as
 /// its serialized bytes (acks included — epochs must line up too).
-fn run(client: &mut ServiceClient) -> Vec<String> {
-    workload()
+fn run(client: &mut ServiceClient, steps: &[Step]) -> Vec<String> {
+    steps
         .iter()
         .map(|step| match step {
             Step::Form { seed } => {
                 let response = client.form(*seed, MechanismKind::Tvof, None).unwrap();
                 serde_json::to_string(&response).unwrap()
+            }
+            Step::Batch { seeds } => {
+                let responses = client.form_batch(seeds, MechanismKind::Tvof, None).unwrap();
+                serde_json::to_string(&responses).unwrap()
             }
             Step::Trust { from, to, value } => {
                 format!("epoch:{}", client.report_trust(*from, *to, *value).unwrap())
@@ -80,22 +86,31 @@ fn run(client: &mut ServiceClient) -> Vec<String> {
         .collect()
 }
 
-#[test]
-fn cached_daemon_never_serves_stale_bytes_across_mutations() {
-    let s = scenario();
-
-    let cached = ServerHandle::spawn(&s, ServerConfig::default()).expect("bind loopback");
+/// Serve `steps` on a fresh caching daemon and a fresh capacity-0
+/// daemon; return both byte transcripts plus the cached daemon's hit
+/// count.
+fn differential(s: &FormationScenario, steps: &[Step]) -> (Vec<String>, Vec<String>, u64) {
+    let cached = ServerHandle::spawn(s, ServerConfig::default()).expect("bind loopback");
     let mut cached_client = ServiceClient::connect(cached.addr()).unwrap();
-    let cached_bytes = run(&mut cached_client);
+    let cached_bytes = run(&mut cached_client, steps);
     let cached_stats = cached_client.metrics().unwrap();
     cached.shutdown();
 
     let uncached_config = ServerConfig { cache_capacity: 0, ..ServerConfig::default() };
-    let uncached = ServerHandle::spawn(&s, uncached_config).expect("bind loopback");
+    let uncached = ServerHandle::spawn(s, uncached_config).expect("bind loopback");
     let mut uncached_client = ServiceClient::connect(uncached.addr()).unwrap();
-    let uncached_bytes = run(&mut uncached_client);
+    let uncached_bytes = run(&mut uncached_client, steps);
     let uncached_stats = uncached_client.metrics().unwrap();
     uncached.shutdown();
+
+    assert_eq!(uncached_stats.cache_hits, 0, "capacity-0 daemon must never hit");
+    (cached_bytes, uncached_bytes, cached_stats.cache_hits)
+}
+
+#[test]
+fn cached_daemon_never_serves_stale_bytes_across_mutations() {
+    let s = scenario();
+    let (cached_bytes, uncached_bytes, cache_hits) = differential(&s, &workload());
 
     assert_eq!(cached_bytes.len(), uncached_bytes.len());
     for (i, (cached_line, uncached_line)) in cached_bytes.iter().zip(&uncached_bytes).enumerate() {
@@ -107,6 +122,51 @@ fn cached_daemon_never_serves_stale_bytes_across_mutations() {
 
     // The comparison only bites if the cached daemon actually reused
     // entries: identical replays between mutations must hit.
-    assert!(cached_stats.cache_hits > 0, "workload never exercised the cache");
-    assert_eq!(uncached_stats.cache_hits, 0, "capacity-0 daemon must never hit");
+    assert!(cache_hits > 0, "workload never exercised the cache");
+}
+
+/// Random steps: `(kind, a, b, v)` decoded against a small seed pool
+/// so form replays collide often enough to keep the cache hot.
+fn steps_strategy() -> impl Strategy<Value = Vec<(u8, usize, usize, f64)>> {
+    proptest::collection::vec((0u8..8, 0usize..6, 0usize..6, 0.05f64..1.0), 4usize..16)
+}
+
+fn decode_steps(raw: &[(u8, usize, usize, f64)], gsps: usize) -> Vec<Step> {
+    const SEEDS: [u64; 3] = [7, 42, 99];
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(kind, a, b, v))| {
+            let a = a % gsps;
+            let b = if b % gsps == a { (a + 1) % gsps } else { b % gsps };
+            match kind {
+                // Forms and batches dominate so most mutations are
+                // followed by a replay that would surface staleness.
+                0 | 1 => Step::Form { seed: SEEDS[a % SEEDS.len()] },
+                2 | 3 => {
+                    Step::Batch { seeds: vec![SEEDS[a % SEEDS.len()], SEEDS[b % SEEDS.len()]] }
+                }
+                4 | 5 => Step::Trust { from: a, to: b, value: v },
+                6 => Step::Receipt { receipt: ExecutionReceipt::new(i, a, true, 8.0 * v, vec![b]) },
+                _ => {
+                    Step::Receipt { receipt: ExecutionReceipt::new(i, a, false, 8.0 * v, vec![b]) }
+                }
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Generalization of the fixed workload above, batch requests
+    /// included: for *any* interleaving of trust reports, receipts,
+    /// forms and batches, the caching daemon and the capacity-0
+    /// daemon agree byte for byte.
+    #[test]
+    fn any_interleaving_agrees_with_the_uncached_daemon(raw in steps_strategy()) {
+        let s = scenario();
+        let steps = decode_steps(&raw, s.gsps().len());
+        let (cached_bytes, uncached_bytes, _hits) = differential(&s, &steps);
+        prop_assert_eq!(cached_bytes, uncached_bytes);
+    }
 }

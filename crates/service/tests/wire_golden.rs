@@ -1,0 +1,124 @@
+//! Golden wire-format tests: the exact bytes of the `form_batch`
+//! request / response shapes are frozen here so a refactor that
+//! reorders fields, renames a tag, or changes null handling fails
+//! loudly instead of silently breaking old clients. The legacy-parse
+//! tests pin the tolerant half of the contract: lines written by
+//! older daemons/clients (missing optional fields) must still decode,
+//! with the absent fields coming back as their defaults / `None`.
+
+use gridvo_core::mechanism::FormationConfig;
+use gridvo_core::FormationScenario;
+use gridvo_service::protocol::{decode, encode, MechanismKind, Request, Response};
+use gridvo_service::GspRegistry;
+use gridvo_sim::config::TableI;
+use gridvo_sim::instance_gen::ScenarioGenerator;
+use rand::SeedableRng;
+
+fn scenario() -> FormationScenario {
+    let cfg = TableI { task_sizes: vec![12], gsps: 5, ..TableI::small() };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+    ScenarioGenerator::new(cfg).scenario(12, &mut rng).expect("feasible small scenario")
+}
+
+#[test]
+fn form_batch_request_bytes_are_frozen() {
+    let request = Request::FormBatch {
+        seeds: vec![1, 2, 3],
+        mechanism: MechanismKind::Tvof,
+        deadline_ms: Some(250),
+    };
+    assert_eq!(
+        encode(&request),
+        r#"{"op":"form_batch","seeds":[1,2,3],"mechanism":"tvof","deadline_ms":250}"#
+    );
+
+    let no_deadline =
+        Request::FormBatch { seeds: vec![7], mechanism: MechanismKind::Rvof, deadline_ms: None };
+    assert_eq!(
+        encode(&no_deadline),
+        r#"{"op":"form_batch","seeds":[7],"mechanism":"rvof","deadline_ms":null}"#
+    );
+}
+
+#[test]
+fn batch_end_response_bytes_are_frozen() {
+    assert_eq!(
+        encode(&Response::BatchEnd { epoch: 17, served: 5 }),
+        r#"{"kind":"batch_end","epoch":17,"served":5}"#
+    );
+}
+
+#[test]
+fn frozen_lines_decode_back_to_the_same_values() {
+    let request: Request =
+        decode(r#"{"op":"form_batch","seeds":[1,2,3],"mechanism":"tvof","deadline_ms":250}"#)
+            .unwrap();
+    assert_eq!(
+        request,
+        Request::FormBatch {
+            seeds: vec![1, 2, 3],
+            mechanism: MechanismKind::Tvof,
+            deadline_ms: Some(250),
+        }
+    );
+
+    let response: Response = decode(r#"{"kind":"batch_end","epoch":17,"served":5}"#).unwrap();
+    assert_eq!(response, Response::BatchEnd { epoch: 17, served: 5 });
+}
+
+#[test]
+fn legacy_form_batch_without_optional_fields_still_parses() {
+    // A minimal line from a client predating the optional fields:
+    // mechanism defaults, deadline comes back `None`.
+    let request: Request = decode(r#"{"op":"form_batch","seeds":[4]}"#).unwrap();
+    assert_eq!(
+        request,
+        Request::FormBatch {
+            seeds: vec![4],
+            mechanism: MechanismKind::default(),
+            deadline_ms: None,
+        }
+    );
+
+    // Unknown extra fields from a *newer* peer are ignored, not
+    // rejected — both directions of version skew must parse.
+    let request: Request = decode(r#"{"op":"form_batch","seeds":[4],"coalesce":true}"#).unwrap();
+    assert!(matches!(request, Request::FormBatch { .. }));
+}
+
+#[test]
+fn malformed_form_batch_lines_are_typed_errors_not_panics() {
+    assert!(decode::<Request>(r#"{"op":"form_batch"}"#).is_err(), "seeds is required");
+    assert!(decode::<Request>(r#"{"op":"form_batch","seeds":7}"#).is_err(), "seeds is a list");
+    assert!(
+        decode::<Request>(r#"{"op":"form_batch","seeds":[1],"mechanism":"zvof"}"#).is_err(),
+        "unknown mechanism names are rejected"
+    );
+    assert!(decode::<Response>(r#"{"kind":"batch_end"}"#).is_err(), "epoch+served are required");
+}
+
+#[test]
+fn legacy_registry_response_without_top_level_epoch_reads_none() {
+    let snapshot = GspRegistry::from_scenario(&scenario(), FormationConfig::default().reputation)
+        .unwrap()
+        .snapshot();
+    let current = encode(&Response::Registry { snapshot: snapshot.clone(), epoch: Some(3) });
+
+    // A pre-epoch daemon wrote the same line minus the trailing
+    // top-level field; synthesize that legacy line from the current
+    // encoding so the snapshot body stays byte-identical.
+    let suffix = r#","epoch":3}"#;
+    assert!(current.ends_with(suffix), "epoch is the final top-level field");
+    let legacy = format!("{}}}", &current[..current.len() - suffix.len()]);
+
+    match decode::<Response>(&legacy).unwrap() {
+        Response::Registry { snapshot: parsed, epoch } => {
+            assert_eq!(epoch, None, "missing top-level epoch must read as None");
+            assert_eq!(
+                serde_json::to_string(&parsed).unwrap(),
+                serde_json::to_string(&snapshot).unwrap()
+            );
+        }
+        other => panic!("expected registry response, got {:?}", other.kind()),
+    }
+}
