@@ -1,13 +1,26 @@
 //! Fig. 9 — mechanism execution time vs number of tasks — plus the
-//! incremental-engine benchmark: the same workload run cold vs warm
-//! (incumbent carry-over + power-method warm starts), emitted as
-//! `BENCH_formation.json`.
+//! incremental-engine benchmark (the same workload run cold vs warm)
+//! and the anytime scale frontier (budgeted portfolio formation per
+//! provider-pool size), emitted together as `BENCH_formation.json`.
+//!
+//! Gates (exit 1 on violation):
+//! * every small-scale bit-identity cross-check passes — under a pure
+//!   node cap the portfolio equals the exact solver, trace for trace;
+//! * the 64-GSP frontier point forms VOs within its wall-clock budget
+//!   with a mean selected-VO optimality gap ≤ 5%.
 //!
 //! Thin per-figure entry point over the shared task sweep; run
 //! `sweep_all` to regenerate Figs. 1/2/3/9 in one pass instead.
 
 use gridvo_bench::{ascii_table, BenchArgs};
 use gridvo_sim::{experiments, report};
+
+/// Provider-pool sizes of the scale frontier.
+const SCALE_GSPS: [usize; 4] = [8, 16, 32, 64];
+/// Wall-clock budget per budgeted formation run.
+const SCALE_BUDGET_MS: u64 = 2_000;
+/// The 64-GSP gate: mean selected-VO gap at the largest scale.
+const SCALE_GAP_GATE: f64 = 0.05;
 
 fn main() {
     let args = BenchArgs::from_env();
@@ -47,5 +60,66 @@ fn main() {
         "{}",
         ascii_table(&["tasks", "cold s", "warm s", "cold nodes", "warm nodes", "speedup"], &rows)
     );
-    args.write_artifact("BENCH_formation.json", &report::to_json(&wc)).unwrap();
+    let scale = match experiments::scale_sweep(&cfg, &SCALE_GSPS, SCALE_BUDGET_MS, &args.seeds) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("scale sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let scale_rows: Vec<Vec<String>> = scale
+        .iter()
+        .map(|p| {
+            vec![
+                p.gsps.to_string(),
+                p.tasks.to_string(),
+                format!("{:.3}", p.seconds.mean),
+                p.nodes.to_string(),
+                format!("{:.2}%", p.mean_gap * 100.0),
+                format!("{:.2}%", p.worst_gap * 100.0),
+                format!("{}/{}", p.truncated_runs, p.formed_runs),
+                p.exact_match.map_or("n/a".to_string(), |m| m.to_string()),
+            ]
+        })
+        .collect();
+    eprintln!(
+        "{}",
+        ascii_table(
+            &["gsps", "tasks", "mean s", "nodes", "mean gap", "worst gap", "trunc/formed", "exact"],
+            &scale_rows,
+        )
+    );
+    args.write_artifact("scale_frontier.csv", &report::scale_csv(&scale)).unwrap();
+    args.write_artifact(
+        "BENCH_formation.json",
+        &report::to_json(&report::BenchFormation { warm_cold: wc, scale_frontier: scale.clone() }),
+    )
+    .unwrap();
+
+    let mut failed = false;
+    for p in &scale {
+        if p.exact_match == Some(false) {
+            eprintln!(
+                "GATE FAIL: {}-GSP node-capped portfolio diverged from the exact solver",
+                p.gsps
+            );
+            failed = true;
+        }
+    }
+    if let Some(frontier) = scale.iter().find(|p| p.gsps == 64) {
+        if frontier.formed_runs == 0 {
+            eprintln!("GATE FAIL: no 64-GSP run formed a VO within the budget");
+            failed = true;
+        } else if frontier.mean_gap > SCALE_GAP_GATE {
+            eprintln!(
+                "GATE FAIL: 64-GSP mean gap {:.2}% exceeds {:.0}%",
+                frontier.mean_gap * 100.0,
+                SCALE_GAP_GATE * 100.0
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }

@@ -57,15 +57,28 @@ fn main() {
         )
     );
 
-    match experiments::warm_cold_sweep(&cfg, &args.seeds) {
-        Ok(wc) => {
-            args.write_artifact("BENCH_formation.json", &report::to_json(&wc)).unwrap();
-        }
+    let wc = match experiments::warm_cold_sweep(&cfg, &args.seeds) {
+        Ok(wc) => wc,
         Err(e) => {
             eprintln!("warm/cold sweep failed: {e}");
             std::process::exit(1);
         }
-    }
+    };
+    // Same frontier scales and budget as `fig9_runtime`, so both
+    // entry points emit a byte-compatible `BENCH_formation.json`.
+    let scale = match experiments::scale_sweep(&cfg, &[8, 16, 32, 64], 2_000, &args.seeds) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("scale sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    args.write_artifact("scale_frontier.csv", &report::scale_csv(&scale)).unwrap();
+    args.write_artifact(
+        "BENCH_formation.json",
+        &report::to_json(&report::BenchFormation { warm_cold: wc, scale_frontier: scale }),
+    )
+    .unwrap();
 
     args.write_artifact("fig1_payoff.csv", &report::fig1_csv(&points)).unwrap();
     args.write_artifact("fig2_vo_size.csv", &report::fig2_csv(&points)).unwrap();

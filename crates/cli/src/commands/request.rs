@@ -70,12 +70,14 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "metrics" => {
             let snapshot = client.metrics().map_err(|e| e.to_string())?;
             println!(
-                "requests {} (form {}, execute {}), busy {}, deadline-dropped {}, errors {}",
+                "requests {} (form {}, execute {}), busy {}, deadline-dropped {}, \
+                 anytime {}, errors {}",
                 snapshot.requests_total,
                 snapshot.form_requests,
                 snapshot.execute_requests,
                 snapshot.busy_rejections,
                 snapshot.deadline_rejections,
+                snapshot.anytime_served,
                 snapshot.request_errors,
             );
             println!(
@@ -191,7 +193,7 @@ fn deadline(flags: &Flags) -> Result<Option<u64>, String> {
 fn form(client: &mut ServiceClient, flags: &Flags) -> Result<(), String> {
     let seed: u64 = flags.num("seed", 1)?;
     match client.form(seed, mechanism(flags)?, deadline(flags)?).map_err(|e| e.to_string())? {
-        Response::Form { outcome } => {
+        Response::Form { outcome, truncated, gap } => {
             match &outcome.selected {
                 Some(vo) => println!(
                     "selected VO {:?}: payoff/GSP {:.2}, avg reputation {:.4}, cost {:.1} \
@@ -203,6 +205,12 @@ fn form(client: &mut ServiceClient, flags: &Flags) -> Result<(), String> {
                     outcome.iterations.len(),
                 ),
                 None => println!("no feasible VO"),
+            }
+            if truncated == Some(true) {
+                println!(
+                    "anytime result: a budget truncated the solve (gap {})",
+                    gap.map_or("unknown".to_string(), |g| format!("{:.2}%", g * 100.0)),
+                );
             }
             maybe_out(flags, &outcome)
         }
@@ -229,7 +237,7 @@ fn form_batch(client: &mut ServiceClient, flags: &Flags) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     for (i, response) in responses.iter().enumerate() {
         match response {
-            Response::Form { outcome } => match &outcome.selected {
+            Response::Form { outcome, .. } => match &outcome.selected {
                 Some(vo) => println!(
                     "seed {}: VO {:?}, payoff/GSP {:.2}, avg reputation {:.4} ({} iteration(s))",
                     seeds[i],

@@ -2,25 +2,27 @@
 
 use crate::args::Flags;
 use crate::commands::load_scenario;
-use gridvo_solver::branch_bound::{BranchBound, SolveStatus};
+use gridvo_solver::branch_bound::{BranchBound, Budget, SolveStatus};
 use gridvo_solver::heuristics::{self, Heuristic};
 use gridvo_solver::parallel::ParallelBranchBound;
+use gridvo_solver::portfolio::Portfolio;
+use std::time::{Duration, Instant};
 
 const HELP: &str = "\
 usage: gridvo solve --scenario FILE [--members 0,2,5]
-                    [--solver exact|parallel|greedy|min-min|max-min|sufferage]
+                    [--solver exact|parallel|portfolio|greedy|min-min|max-min|sufferage]
+                    [--deadline-ms MS] [--max-nodes N]
 
 Solves the task-assignment IP for the given VO (default: all GSPs),
-printing the status, optimal cost, per-GSP loads and task counts.";
+printing the status, optimal cost, per-GSP loads and task counts.
+--deadline-ms and --max-nodes bound the solve (exact, parallel and
+portfolio solvers); a truncated solve prints its best anytime
+incumbent plus the relative optimality gap.";
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv, &["scenario", "members", "solver"], &[]).map_err(|e| {
-        if e == "help" {
-            HELP.to_string()
-        } else {
-            e
-        }
-    })?;
+    let flags =
+        Flags::parse(argv, &["scenario", "members", "solver", "deadline-ms", "max-nodes"], &[])
+            .map_err(|e| if e == "help" { HELP.to_string() } else { e })?;
     let scenario = load_scenario(flags.require("scenario")?)?;
     let members = flags.list("members")?.unwrap_or_else(|| (0..scenario.gsp_count()).collect());
     for &m in &members {
@@ -32,43 +34,69 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         .instance_for(&members)
         .ok_or_else(|| "VO cannot host the program (constraint (13))".to_string())?;
 
-    let solver_name = flags.get("solver").unwrap_or("exact");
-    let solved = match solver_name {
-        "exact" => match BranchBound::default().solve_status(&inst) {
-            SolveStatus::Optimal(o) => {
-                println!(
-                    "status: OPTIMAL (proven, {} nodes, incumbent: {})",
-                    o.nodes,
-                    o.incumbent_source.as_str()
-                );
-                Some((o.assignment, o.cost))
-            }
-            SolveStatus::Feasible(o) => {
-                println!(
-                    "status: FEASIBLE (budget-truncated, {} nodes, incumbent: {})",
-                    o.nodes,
-                    o.incumbent_source.as_str()
-                );
-                Some((o.assignment, o.cost))
-            }
-            SolveStatus::Infeasible { nodes } => {
-                println!("status: INFEASIBLE (proven, {nodes} nodes)");
-                None
-            }
-            SolveStatus::Unknown { nodes } => {
-                println!("status: UNKNOWN (budget exhausted, {nodes} nodes)");
-                None
-            }
+    let budget = Budget {
+        deadline: match flags.num("deadline-ms", 0u64)? {
+            0 => None,
+            ms => Some(Instant::now() + Duration::from_millis(ms)),
         },
-        "parallel" => ParallelBranchBound::default().solve(&inst).map(|o| {
+        max_nodes: match flags.num("max-nodes", 0u64)? {
+            0 => u64::MAX,
+            n => n,
+        },
+    };
+    let report_status = |status: SolveStatus| match status {
+        SolveStatus::Optimal(o) => {
             println!(
-                "status: {} ({} nodes, incumbent: {})",
-                if o.optimal { "OPTIMAL" } else { "FEASIBLE" },
+                "status: OPTIMAL (proven, {} nodes, incumbent: {})",
                 o.nodes,
                 o.incumbent_source.as_str()
             );
-            (o.assignment, o.cost)
-        }),
+            Some((o.assignment, o.cost))
+        }
+        SolveStatus::Feasible(o) => {
+            println!(
+                "status: FEASIBLE ({}, {} nodes, incumbent: {}, gap {})",
+                if o.deadline_hit { "deadline-truncated" } else { "budget-truncated" },
+                o.nodes,
+                o.incumbent_source.as_str(),
+                o.gap.map_or("unknown".to_string(), |g| format!("{:.2}%", g * 100.0)),
+            );
+            Some((o.assignment, o.cost))
+        }
+        SolveStatus::Infeasible { nodes } => {
+            println!("status: INFEASIBLE (proven, {nodes} nodes)");
+            None
+        }
+        SolveStatus::Unknown { nodes } => {
+            println!("status: UNKNOWN (budget exhausted, {nodes} nodes)");
+            None
+        }
+    };
+    let solver_name = flags.get("solver").unwrap_or("exact");
+    let solved = match solver_name {
+        "exact" => {
+            report_status(BranchBound::default().solve_status_with_budget(&inst, None, &budget))
+        }
+        "portfolio" => {
+            report_status(Portfolio::default().solve_status_with_budget(&inst, None, &budget))
+        }
+        "parallel" => {
+            match ParallelBranchBound::default().solve_status_with_budget(&inst, None, &budget) {
+                SolveStatus::Optimal(o) | SolveStatus::Feasible(o) => {
+                    println!(
+                        "status: {} ({} nodes, incumbent: {})",
+                        if o.optimal { "OPTIMAL" } else { "FEASIBLE" },
+                        o.nodes,
+                        o.incumbent_source.as_str()
+                    );
+                    Some((o.assignment, o.cost))
+                }
+                SolveStatus::Infeasible { nodes } | SolveStatus::Unknown { nodes } => {
+                    println!("status: no feasible assignment found ({nodes} nodes)");
+                    None
+                }
+            }
+        }
         name => {
             let kind = match name {
                 "greedy" => Heuristic::GreedyCost,

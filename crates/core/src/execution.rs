@@ -840,7 +840,8 @@ mod tests {
     fn full_vo(s: &FormationScenario) -> VoRecord {
         let members: Vec<usize> = (0..s.gsp_count()).collect();
         let inst = s.instance_for(&members).unwrap();
-        let (assignment, cost) = gridvo_solver::brute::solve(&inst).expect("loose constraints");
+        let (assignment, cost) =
+            gridvo_solver::brute::solve(&inst).unwrap().expect("loose constraints");
         let value = (s.payment() - cost).max(0.0);
         VoRecord {
             members: members.clone(),
@@ -850,6 +851,7 @@ mod tests {
             payoff_share: value / members.len() as f64,
             avg_reputation: 1.0,
             optimal: true,
+            gap: Some(0.0),
         }
     }
 

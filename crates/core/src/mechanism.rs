@@ -13,12 +13,13 @@
 
 use crate::reputation::ReputationEngine;
 use crate::scenario::FormationScenario;
-use crate::solve_cache::{solve_key, CachedSolve, NoCache, SolveCache};
+use crate::solve_cache::{solve_key_with_budget, CachedSolve, NoCache, SolveCache};
 use crate::vo::{FormationOutcome, IterationRecord, VoRecord};
 use crate::{CoreError, Result};
-use gridvo_solver::branch_bound::{BranchBound, SolveStatus};
+use gridvo_solver::branch_bound::{BranchBound, Budget, SolveStatus};
 use gridvo_solver::heuristics::{self, Heuristic};
 use gridvo_solver::parallel::ParallelBranchBound;
+use gridvo_solver::portfolio::Portfolio;
 use gridvo_solver::{repair, AssignmentInstance};
 use rand::Rng;
 use std::time::Instant;
@@ -33,6 +34,11 @@ pub(crate) struct VoSolveReport {
     pub(crate) nodes: u64,
     /// Final-incumbent provenance (exact solvers only).
     pub(crate) incumbent_source: Option<String>,
+    /// Relative optimality gap (`Some(0.0)` when proven optimal).
+    /// Anything non-optimal produced under a wall-clock deadline is
+    /// wall-clock-dependent, which is why `solve_vo` only ever caches
+    /// proven results when a deadline is armed.
+    pub(crate) gap: Option<f64>,
 }
 
 impl VoSolveReport {
@@ -43,6 +49,7 @@ impl VoSolveReport {
             solved: self.solved.clone(),
             nodes: self.nodes,
             incumbent_source: self.incumbent_source.clone(),
+            gap: self.gap,
             members: members.to_vec(),
             // The driver has no epoch notion; epoch-aware cache
             // owners re-stamp on store.
@@ -50,9 +57,16 @@ impl VoSolveReport {
         }
     }
 
-    /// Rebuild a report from a cache hit.
+    /// Rebuild a report from a cache hit. Deadline-truncated results
+    /// are never stored, so a replayed solve is by construction not
+    /// one.
     fn from_cached(c: CachedSolve) -> Self {
-        VoSolveReport { solved: c.solved, nodes: c.nodes, incumbent_source: c.incumbent_source }
+        VoSolveReport {
+            solved: c.solved,
+            nodes: c.nodes,
+            incumbent_source: c.incumbent_source,
+            gap: c.gap,
+        }
     }
 }
 
@@ -91,6 +105,10 @@ pub enum SolverChoice {
     ExactParallel(ParallelBranchBound),
     /// A fast inexact heuristic (participation-repaired).
     Heuristic(Heuristic),
+    /// Racing portfolio: heuristics seed, exact search refines, all
+    /// under the run's anytime [`Budget`]. Identical to `Exact` when
+    /// the budget is unlimited.
+    Portfolio(Portfolio),
 }
 
 impl Default for SolverChoice {
@@ -184,6 +202,27 @@ impl Mechanism {
         rng: &mut R,
         cache: &mut dyn SolveCache,
     ) -> Result<FormationOutcome> {
+        self.run_cached_with_budget(scenario, rng, cache, &Budget::unlimited())
+    }
+
+    /// [`Mechanism::run_cached`] under an anytime [`Budget`] shared by
+    /// every per-round solve: each solve honors the same absolute
+    /// wall-clock deadline and node cap, so the whole formation run —
+    /// not just one round — respects the caller's deadline (up to one
+    /// solver bound-check interval plus non-solver overhead). Rounds
+    /// whose solve was truncated carry their anytime incumbent with
+    /// `optimal = false` and a positive `gap`. Deadline-truncated
+    /// solves are never stored in `cache` (they are wall-clock-
+    /// dependent); node-cap truncation is deterministic and cached
+    /// under a cap-tagged key. With [`Budget::unlimited`] this is
+    /// exactly [`Mechanism::run_cached`].
+    pub fn run_cached_with_budget<R: Rng + ?Sized>(
+        &self,
+        scenario: &FormationScenario,
+        rng: &mut R,
+        cache: &mut dyn SolveCache,
+        budget: &Budget,
+    ) -> Result<FormationOutcome> {
         let started = Instant::now();
         let mut members: Vec<usize> = (0..scenario.gsp_count()).collect();
         let mut iterations = Vec::new();
@@ -210,7 +249,7 @@ impl Mechanism {
                     .map(|local| (prev_assignment, local)),
                 _ => None,
             };
-            let report = self.solve_vo(scenario, &members, warm_seed, cache);
+            let report = self.solve_vo(scenario, &members, warm_seed, cache, budget);
             let solve_seconds = solve_started.elapsed().as_secs_f64();
 
             let rep_start: Option<Vec<f64>> = match (&prev_reputation, self.config.warm_start) {
@@ -252,6 +291,7 @@ impl Mechanism {
                     payoff_share: value / members.len() as f64,
                     avg_reputation: reputation.average,
                     optimal,
+                    gap: report.gap,
                 });
             }
 
@@ -267,6 +307,7 @@ impl Mechanism {
                 solve_seconds,
                 nodes: report.nodes,
                 incumbent_source: report.incumbent_source,
+                gap: report.gap,
                 power_iterations: reputation.iterations,
             });
             prev_reputation = Some(reputation);
@@ -297,18 +338,35 @@ impl Mechanism {
         members: &[usize],
         carry: Option<(&gridvo_solver::Assignment, usize)>,
         cache: &mut dyn SolveCache,
+        budget: &Budget,
     ) -> VoSolveReport {
         let Some(inst): Option<AssignmentInstance> = scenario.instance_for(members) else {
-            return VoSolveReport { solved: None, nodes: 0, incumbent_source: None };
+            return VoSolveReport { solved: None, nodes: 0, incumbent_source: None, gap: None };
         };
         let warm =
             carry.and_then(|(prev, evicted)| repair::repair_after_eviction(prev, evicted, &inst));
-        let key = solve_key(&inst, warm.as_ref());
+        // A finite node cap changes what a truncated solve returns, so
+        // it is part of the key (None ⇒ the pre-budget key values).
+        // The wall-clock deadline is NOT: it makes results
+        // non-reproducible, so deadline-hit solves are simply never
+        // stored. Cached entries from unlimited runs remain valid
+        // answers under any deadline — serving a cached proven optimum
+        // early is strictly better than truncating a fresh search.
+        let node_cap = (budget.max_nodes != u64::MAX).then_some(budget.max_nodes);
+        let key = solve_key_with_budget(&inst, warm.as_ref(), node_cap);
         if let Some(hit) = cache.lookup(key) {
             return VoSolveReport::from_cached(hit);
         }
-        let report = self.solve_instance(&inst, warm.as_ref());
-        cache.store(key, &report.to_cached(members));
+        let report = self.solve_instance_with_budget(&inst, warm.as_ref(), budget);
+        // Without a deadline every result (including node-cap
+        // truncation and Unknown) is a deterministic function of the
+        // key. With one armed, anything short of a proven optimum —
+        // an anytime incumbent, or an empty result that may be a
+        // timed-out Unknown rather than an infeasibility proof —
+        // depends on wall-clock luck and is never stored.
+        if budget.deadline.is_none() || matches!(&report.solved, Some((_, _, true))) {
+            cache.store(key, &report.to_cached(members));
+        }
         report
     }
 
@@ -320,29 +378,43 @@ impl Mechanism {
         inst: &AssignmentInstance,
         warm: Option<&gridvo_solver::Assignment>,
     ) -> VoSolveReport {
+        self.solve_instance_with_budget(inst, warm, &Budget::unlimited())
+    }
+
+    /// [`Mechanism::solve_instance`] under an anytime budget.
+    pub(crate) fn solve_instance_with_budget(
+        &self,
+        inst: &AssignmentInstance,
+        warm: Option<&gridvo_solver::Assignment>,
+        budget: &Budget,
+    ) -> VoSolveReport {
         let from_status = |status: SolveStatus| -> VoSolveReport {
             match status {
                 SolveStatus::Optimal(o) | SolveStatus::Feasible(o) => VoSolveReport {
                     nodes: o.nodes,
                     incumbent_source: Some(o.incumbent_source.as_str().to_string()),
+                    gap: o.gap,
                     solved: Some((o.assignment, o.cost, o.optimal)),
                 },
                 SolveStatus::Infeasible { nodes } | SolveStatus::Unknown { nodes } => {
-                    VoSolveReport { solved: None, nodes, incumbent_source: None }
+                    VoSolveReport { solved: None, nodes, incumbent_source: None, gap: None }
                 }
             }
         };
         match self.config.solver {
-            SolverChoice::Exact(bb) => from_status(bb.solve_status_with_incumbent(inst, warm)),
+            SolverChoice::Exact(bb) => from_status(bb.solve_status_with_budget(inst, warm, budget)),
             SolverChoice::ExactParallel(pbb) => {
-                from_status(pbb.solve_status_with_incumbent(inst, warm))
+                from_status(pbb.solve_status_with_budget(inst, warm, budget))
+            }
+            SolverChoice::Portfolio(p) => {
+                from_status(p.solve_status_with_budget(inst, warm, budget))
             }
             SolverChoice::Heuristic(kind) => {
                 let solved = heuristics::run(kind, inst).map(|a| {
                     let cost = a.total_cost(inst);
                     (a, cost, false)
                 });
-                VoSolveReport { solved, nodes: 0, incumbent_source: None }
+                VoSolveReport { solved, nodes: 0, incumbent_source: None, gap: None }
             }
         }
     }

@@ -61,6 +61,7 @@ mod tests {
             payoff_share: payoff,
             avg_reputation: rep,
             optimal: true,
+            gap: Some(0.0),
         }
     }
 

@@ -37,6 +37,9 @@ pub struct CachedSolve {
     pub nodes: u64,
     /// Final-incumbent provenance of the original solve.
     pub incumbent_source: Option<String>,
+    /// Relative optimality gap of the original solve (`Some(0.0)` when
+    /// proven optimal; positive when a node cap truncated it).
+    pub gap: Option<f64>,
     /// Global ids of the candidate VO the solve was for. Not part of
     /// the key — the instance content hash already covers the member
     /// columns — but carried so cache owners can *target* eviction at
@@ -84,6 +87,23 @@ impl SolveCache for NoCache {
 /// hash combined with the warm incumbent (task → local-GSP vector)
 /// seeded into the search, or a distinct tag when the solve is cold.
 pub fn solve_key(inst: &AssignmentInstance, warm: Option<&Assignment>) -> u64 {
+    solve_key_with_budget(inst, warm, None)
+}
+
+/// Budget-aware cache key. A finite node cap changes what a truncated
+/// solve returns, so capped solves get their own key space (the cap is
+/// appended to the hash); `node_cap = None` — the unlimited default —
+/// produces exactly the same key values as [`solve_key`], keeping
+/// every pre-existing cache line addressable. Wall-clock deadlines are
+/// deliberately *not* part of any key: deadline-truncated results are
+/// not reproducible and must never be stored (the driver skips the
+/// store when [`crate::mechanism::VoSolveReport`] flags a deadline
+/// hit).
+pub fn solve_key_with_budget(
+    inst: &AssignmentInstance,
+    warm: Option<&Assignment>,
+    node_cap: Option<u64>,
+) -> u64 {
     let mut h = Fnv1a::new();
     h.write_u64(inst.canonical_hash());
     match warm {
@@ -94,6 +114,10 @@ pub fn solve_key(inst: &AssignmentInstance, warm: Option<&Assignment>) -> u64 {
             }
         }
         None => h.write(b"cold"),
+    }
+    if let Some(cap) = node_cap {
+        h.write(b"cap");
+        h.write_u64(cap);
     }
     h.finish()
 }
@@ -131,10 +155,22 @@ mod tests {
             solved: None,
             nodes: 3,
             incumbent_source: None,
+            gap: None,
             members: vec![0, 1],
             epoch: 0,
         };
         c.store(7, &v);
         assert_eq!(c.lookup(7), None);
+    }
+
+    #[test]
+    fn node_cap_gets_its_own_key_space_and_none_preserves_old_keys() {
+        let i = inst();
+        assert_eq!(solve_key(&i, None), solve_key_with_budget(&i, None, None));
+        assert_ne!(solve_key(&i, None), solve_key_with_budget(&i, None, Some(1000)));
+        assert_ne!(
+            solve_key_with_budget(&i, None, Some(1000)),
+            solve_key_with_budget(&i, None, Some(2000))
+        );
     }
 }

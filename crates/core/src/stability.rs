@@ -182,6 +182,7 @@ mod tests {
             payoff_share: 195.0,
             avg_reputation: 1.0,
             optimal: true,
+            gap: Some(0.0),
         };
         assert_eq!(audit_individual_stability(&s, &vo).unwrap(), StabilityAudit::Stable);
     }

@@ -24,6 +24,12 @@ pub struct VoRecord {
     /// Whether the recorded cost is a *proven* IP optimum (exact
     /// solver, search exhausted) or a heuristic/truncated value.
     pub optimal: bool,
+    /// Relative optimality gap `(cost − lower_bound)/cost` of the
+    /// solve that produced this record: `Some(0.0)` when proven
+    /// optimal, positive when an anytime budget truncated the search,
+    /// `None` for heuristic solvers (no bound) and records written by
+    /// pre-gap versions.
+    pub gap: Option<f64>,
 }
 
 impl VoRecord {
@@ -69,6 +75,10 @@ pub struct IterationRecord {
     /// search) or `"search"`. `None` when the round was infeasible or
     /// solved by a heuristic-only solver.
     pub incumbent_source: Option<String>,
+    /// Relative optimality gap of this round's solve (see
+    /// [`VoRecord::gap`]); `None` when infeasible, heuristic-solved,
+    /// or recorded by a pre-gap version.
+    pub gap: Option<f64>,
     /// Power-method iterations the reputation engine used this round
     /// (1 for the non-iterative engines). Warm starts show up here as
     /// a sharp drop after round 0.
@@ -129,6 +139,7 @@ mod tests {
             avg_reputation: rep,
             members,
             optimal: true,
+            gap: Some(0.0),
         }
     }
 

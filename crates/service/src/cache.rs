@@ -175,11 +175,18 @@ mod tests {
     use super::*;
 
     fn entry(nodes: u64) -> CachedSolve {
-        CachedSolve { solved: None, nodes, incumbent_source: None, members: vec![0, 1], epoch: 0 }
+        CachedSolve {
+            solved: None,
+            nodes,
+            incumbent_source: None,
+            gap: None,
+            members: vec![0, 1],
+            epoch: 0,
+        }
     }
 
     fn entry_for(nodes: u64, members: Vec<usize>) -> CachedSolve {
-        CachedSolve { solved: None, nodes, incumbent_source: None, members, epoch: 0 }
+        CachedSolve { solved: None, nodes, incumbent_source: None, gap: None, members, epoch: 0 }
     }
 
     /// Mutations in the pre-epoch tests all "happen after" every

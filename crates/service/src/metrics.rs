@@ -104,6 +104,7 @@ struct Inner {
     ping_requests: u64,
     busy_rejections: u64,
     deadline_rejections: u64,
+    anytime_served: u64,
     request_errors: u64,
     queue_depth: usize,
     queue_wait: Histogram,
@@ -138,6 +139,9 @@ pub struct MetricsSnapshot {
     pub busy_rejections: u64,
     /// Requests dropped at dequeue because their deadline had passed.
     pub deadline_rejections: u64,
+    /// Formation responses served with a truncated (anytime,
+    /// non-proven) result because the deadline expired mid-solve.
+    pub anytime_served: u64,
     /// Requests answered with a typed error.
     pub request_errors: u64,
     /// Jobs queued right now.
@@ -192,6 +196,11 @@ impl Metrics {
         self.with(|m| m.deadline_rejections += 1);
     }
 
+    /// Count a formation served with an anytime (truncated) result.
+    pub fn anytime_served(&self) {
+        self.with(|m| m.anytime_served += 1);
+    }
+
     /// Count a request answered with `Response::Error`.
     pub fn request_errored(&self) {
         self.with(|m| m.request_errors += 1);
@@ -226,6 +235,7 @@ impl Metrics {
                 ping_requests: m.ping_requests,
                 busy_rejections: m.busy_rejections,
                 deadline_rejections: m.deadline_rejections,
+                anytime_served: m.anytime_served,
                 request_errors: m.request_errors,
                 queue_depth: m.queue_depth,
                 cache_hits: cache.hits,
@@ -268,6 +278,7 @@ mod tests {
         }
         m.busy_rejected();
         m.deadline_rejected();
+        m.anytime_served();
         m.request_errored();
         m.set_queue_depth(4);
         let s = m.snapshot(CacheStats { hits: 3, misses: 1, entries: 2 });
@@ -279,6 +290,7 @@ mod tests {
         assert_eq!(s.snapshot_requests, 1);
         assert_eq!(s.ping_requests, 1);
         assert_eq!((s.busy_rejections, s.deadline_rejections, s.request_errors), (1, 1, 1));
+        assert_eq!(s.anytime_served, 1);
         assert_eq!(s.queue_depth, 4);
         assert!((s.cache_hit_rate - 0.75).abs() < 1e-12);
     }

@@ -247,6 +247,15 @@ pub enum Response {
     Form {
         /// The full Algorithm-1 trace and selection.
         outcome: FormationOutcome,
+        /// Whether any recorded VO carries a non-proven (anytime)
+        /// cost — i.e. the request's deadline or node budget cut at
+        /// least one per-round solve short. `None` on wire lines
+        /// written before the field existed.
+        truncated: Option<bool>,
+        /// Relative optimality gap of the *selected* VO's solve
+        /// (`Some(0.0)` when proven optimal). `None` when nothing was
+        /// selected, or on pre-gap wire lines.
+        gap: Option<f64>,
     },
     /// Formation + execution result (timings zeroed). `report` is
     /// `None` when no feasible VO existed to execute.
@@ -302,6 +311,18 @@ pub enum Response {
 }
 
 impl Response {
+    /// Wrap a formation outcome as a [`Response::Form`], deriving the
+    /// anytime summary fields: `truncated` is true when any recorded
+    /// VO's cost is not a proven optimum, and `gap` is the selected
+    /// VO's relative optimality gap. Server and differential tests
+    /// share this constructor so served and replayed lines agree byte
+    /// for byte.
+    pub fn form_from(outcome: FormationOutcome) -> Response {
+        let truncated = Some(outcome.feasible_vos.iter().any(|v| !v.optimal));
+        let gap = outcome.selected.as_ref().and_then(|v| v.gap);
+        Response::Form { outcome, truncated, gap }
+    }
+
     /// The response's `"kind"` tag.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -324,8 +345,10 @@ impl Serialize for Response {
         let mut fields: Vec<(String, Value)> =
             vec![("kind".to_string(), Value::Str(self.kind().to_string()))];
         match self {
-            Response::Form { outcome } => {
+            Response::Form { outcome, truncated, gap } => {
                 fields.push(("outcome".to_string(), outcome.to_value()));
+                fields.push(("truncated".to_string(), truncated.to_value()));
+                fields.push(("gap".to_string(), gap.to_value()));
             }
             Response::Execute { outcome, report } => {
                 fields.push(("outcome".to_string(), outcome.to_value()));
@@ -359,7 +382,11 @@ impl Deserialize for Response {
     fn from_value(v: &Value) -> std::result::Result<Self, Error> {
         let kind: String = de_field(v, "kind")?;
         match kind.as_str() {
-            "form" => Ok(Response::Form { outcome: de_field(v, "outcome")? }),
+            "form" => Ok(Response::Form {
+                outcome: de_field(v, "outcome")?,
+                truncated: de_field(v, "truncated")?,
+                gap: de_field(v, "gap")?,
+            }),
             "execute" => Ok(Response::Execute {
                 outcome: de_field(v, "outcome")?,
                 report: de_field(v, "report")?,

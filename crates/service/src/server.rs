@@ -39,7 +39,14 @@
 //! at startup. A request that a worker dequeues after its deadline
 //! (per-request `deadline_ms`, defaulting to the server's) is dropped
 //! with [`Response::DeadlineExceeded`] *without* being solved: under
-//! overload, stale work is shed instead of amplified.
+//! overload, stale work is shed instead of amplified. A request
+//! dequeued *before* its deadline carries the remaining budget into
+//! the solve itself (as a [`Budget`] wall-clock deadline), so a solve
+//! that would overrun is cut short and answered with its best anytime
+//! incumbent — `truncated: Some(true)` plus an optimality `gap` —
+//! instead of holding the worker hostage. `deadline_ms` is therefore
+//! a bound on *service time*, not just queue wait, up to one solver
+//! bound-check interval plus non-solver overhead.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
@@ -51,6 +58,7 @@ use std::time::{Duration, Instant};
 
 use gridvo_core::mechanism::{FormationConfig, Mechanism};
 use gridvo_core::{FaultPlan, FormationScenario};
+use gridvo_solver::Budget;
 use rand::SeedableRng;
 
 use crate::cache::SharedSolveCache;
@@ -479,15 +487,19 @@ fn worker_loop(shared: &Arc<Shared>) {
         };
         let waited = job.enqueued.elapsed();
         shared.metrics.record_queue_wait_ms(waited.as_secs_f64() * 1e3);
-        if let Some(deadline) = job.deadline {
-            if waited > deadline {
+        // The absolute deadline governs both halves of the request's
+        // lifetime: already past it → shed without solving; still
+        // ahead of it → the remaining budget bounds the solve.
+        let deadline_at = job.deadline.map(|d| job.enqueued + d);
+        if let Some(at) = deadline_at {
+            if Instant::now() >= at {
                 shared.metrics.deadline_rejected();
                 let _ = job.reply.send(Response::DeadlineExceeded);
                 continue;
             }
         }
         let served_at = Instant::now();
-        serve(job.request, shared, &job.reply);
+        serve(job.request, shared, &job.reply, deadline_at);
         shared.metrics.record_service_ms(served_at.elapsed().as_secs_f64() * 1e3);
         // `job.reply` drops here, closing the connection's stream.
     }
@@ -497,7 +509,13 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// Solves run against the epoch snapshot pinned at the start of the
 /// job — no registry lock is held during a solve, and every seed of a
 /// batch sees the same epoch.
-fn serve(request: Request, shared: &Arc<Shared>, reply: &mpsc::Sender<Response>) {
+fn serve(
+    request: Request,
+    shared: &Arc<Shared>,
+    reply: &mpsc::Sender<Response>,
+    deadline_at: Option<Instant>,
+) {
+    let budget = Budget { deadline: deadline_at, max_nodes: u64::MAX };
     match request {
         Request::Ping { sleep_ms } => {
             std::thread::sleep(Duration::from_millis(sleep_ms));
@@ -505,8 +523,8 @@ fn serve(request: Request, shared: &Arc<Shared>, reply: &mpsc::Sender<Response>)
         }
         Request::Form { seed, mechanism, .. } => {
             let snapshot = shared.registry.snapshot();
-            let response = match run_formation(shared, &snapshot, seed, mechanism) {
-                Ok(outcome) => Response::Form { outcome },
+            let response = match run_formation(shared, &snapshot, seed, mechanism, &budget) {
+                Ok(outcome) => form_response(shared, outcome),
                 Err(message) => error_response(shared, message),
             };
             let _ = reply.send(response);
@@ -515,10 +533,10 @@ fn serve(request: Request, shared: &Arc<Shared>, reply: &mpsc::Sender<Response>)
             let snapshot = shared.registry.snapshot();
             let mut served = 0u64;
             for &seed in &seeds {
-                let response = match run_formation(shared, &snapshot, seed, mechanism) {
+                let response = match run_formation(shared, &snapshot, seed, mechanism, &budget) {
                     Ok(outcome) => {
                         served += 1;
-                        Response::Form { outcome }
+                        form_response(shared, outcome)
                     }
                     Err(message) => error_response(shared, message),
                 };
@@ -530,7 +548,8 @@ fn serve(request: Request, shared: &Arc<Shared>, reply: &mpsc::Sender<Response>)
         }
         Request::Execute { seed, mechanism, faults, .. } => {
             let snapshot = shared.registry.snapshot();
-            let response = match run_execution(shared, &snapshot, seed, mechanism, &faults) {
+            let response = match run_execution(shared, &snapshot, seed, mechanism, &faults, &budget)
+            {
                 Ok((outcome, report)) => Response::Execute { outcome, report },
                 Err(message) => error_response(shared, message),
             };
@@ -550,20 +569,31 @@ fn mechanism_for(kind: MechanismKind) -> Mechanism {
     }
 }
 
+/// Wrap a formation outcome for the wire, counting anytime serves.
+fn form_response(shared: &Arc<Shared>, outcome: gridvo_core::FormationOutcome) -> Response {
+    let response = Response::form_from(outcome);
+    if matches!(response, Response::Form { truncated: Some(true), .. }) {
+        shared.metrics.anytime_served();
+    }
+    response
+}
+
 fn run_formation(
     shared: &Arc<Shared>,
     snapshot: &EpochSnapshot,
     seed: u64,
     kind: MechanismKind,
+    budget: &Budget,
 ) -> std::result::Result<gridvo_core::FormationOutcome, String> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     // Stores through this handle are stamped with the snapshot's
     // epoch, so a mutation committing concurrently (at a later epoch)
     // still evicts them — only entries stored against a state that
-    // already includes a mutation survive it.
+    // already includes a mutation survive it. Deadline-truncated
+    // solves are never stored at all (see `Mechanism::solve_vo`).
     let mut cache = shared.cache.at_epoch(snapshot.epoch);
     let mut outcome = mechanism_for(kind)
-        .run_cached(&snapshot.scenario, &mut rng, &mut cache)
+        .run_cached_with_budget(&snapshot.scenario, &mut rng, &mut cache, budget)
         .map_err(|e| e.to_string())?;
     outcome.zero_timings();
     Ok(outcome)
@@ -575,11 +605,14 @@ fn run_execution(
     seed: u64,
     kind: MechanismKind,
     faults: &FaultPlan,
+    budget: &Budget,
 ) -> std::result::Result<
     (gridvo_core::FormationOutcome, Option<gridvo_core::ExecutionReport>),
     String,
 > {
-    let outcome = run_formation(shared, snapshot, seed, kind)?;
+    // The budget bounds the formation phase; execution replay (and
+    // its fault-recovery re-solves) stays unbudgeted for now.
+    let outcome = run_formation(shared, snapshot, seed, kind, budget)?;
     let report = match &outcome.selected {
         Some(vo) => {
             let mut report = mechanism_for(kind)

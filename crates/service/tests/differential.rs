@@ -49,7 +49,7 @@ fn served_form_is_bit_identical_to_direct_call() {
     let mut client = ServiceClient::connect(handle.addr()).unwrap();
 
     let served = match client.form(42, MechanismKind::Tvof, None).unwrap() {
-        Response::Form { outcome } => outcome,
+        Response::Form { outcome, .. } => outcome,
         other => panic!("expected form response, got {:?}", other.kind()),
     };
     let direct = direct_form(&s, 42);
@@ -275,7 +275,7 @@ fn rvof_requests_use_the_requested_mechanism() {
     let (handle, s) = spawn(ServerConfig::default());
     let mut client = ServiceClient::connect(handle.addr()).unwrap();
     let served = match client.form(5, MechanismKind::Rvof, None).unwrap() {
-        Response::Form { outcome } => outcome,
+        Response::Form { outcome, .. } => outcome,
         other => panic!("expected form response, got {:?}", other.kind()),
     };
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);

@@ -136,7 +136,7 @@ proptest! {
             .run(&s, &mut rng)
             .expect("formation runs");
         direct.zero_timings();
-        prop_assert_eq!(encode(&served), encode(&Response::Form { outcome: direct }));
+        prop_assert_eq!(encode(&served), encode(&Response::form_from(direct)));
         handle.shutdown();
     }
 }

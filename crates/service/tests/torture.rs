@@ -281,7 +281,7 @@ fn run_torture(persistence: Option<PersistConfig>) {
                     let mut outcome =
                         mechanism.run(&oracle_scenario, &mut rng).expect("oracle formation");
                     outcome.zero_timings();
-                    encode(&Response::Form { outcome })
+                    encode(&Response::form_from(outcome))
                 })
                 .collect();
             for lines in batches {

@@ -122,3 +122,61 @@ fn legacy_registry_response_without_top_level_epoch_reads_none() {
         other => panic!("expected registry response, got {:?}", other.kind()),
     }
 }
+
+#[test]
+fn form_response_carries_trailing_truncated_and_gap_fields() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let outcome = gridvo_core::Mechanism::tvof(FormationConfig::default())
+        .run(&scenario(), &mut rng)
+        .expect("feasible scenario");
+    let line = encode(&Response::form_from(outcome));
+    // The anytime summary fields trail the outcome so pre-gap readers
+    // that stop at `outcome` keep working; an unbudgeted run is
+    // proven optimal end to end.
+    assert!(line.ends_with(r#","truncated":false,"gap":0.0}"#), "unexpected tail: {line}");
+}
+
+#[test]
+fn legacy_form_response_without_gap_fields_still_parses() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let outcome = gridvo_core::Mechanism::tvof(FormationConfig::default())
+        .run(&scenario(), &mut rng)
+        .expect("feasible scenario");
+    let current = encode(&Response::form_from(outcome.clone()));
+
+    // A pre-gap daemon wrote the same line minus the two trailing
+    // top-level fields and minus every per-record `gap`; synthesize
+    // that legacy line from the current encoding. An unbudgeted run
+    // proves every solve optimal, so the nested gaps are exactly
+    // `0.0` (feasible rounds) or `null` (infeasible final round).
+    let cut = current.rfind(r#","truncated":"#).expect("truncated is a trailing field");
+    let legacy =
+        format!("{}}}", &current[..cut]).replace(r#","gap":0.0"#, "").replace(r#","gap":null"#, "");
+    assert!(!legacy.contains(r#""gap""#), "legacy line must predate every gap field");
+
+    match decode::<Response>(&legacy).unwrap() {
+        Response::Form { outcome: parsed, truncated, gap } => {
+            assert_eq!(truncated, None, "missing truncated must read as None");
+            assert_eq!(gap, None, "missing top-level gap must read as None");
+            assert!(parsed.feasible_vos.iter().all(|v| v.gap.is_none()));
+            assert!(parsed.iterations.iter().all(|it| it.gap.is_none()));
+            // Everything except the absent gaps round-trips intact.
+            let mut regapped = parsed;
+            for v in &mut regapped.feasible_vos {
+                v.gap = Some(0.0);
+            }
+            if let Some(v) = &mut regapped.selected {
+                v.gap = Some(0.0);
+            }
+            for it in &mut regapped.iterations {
+                it.gap = outcome
+                    .iterations
+                    .iter()
+                    .find(|o| o.iteration == it.iteration)
+                    .and_then(|o| o.gap);
+            }
+            assert_eq!(regapped, outcome);
+        }
+        other => panic!("expected form response, got {:?}", other.kind()),
+    }
+}

@@ -9,9 +9,12 @@ use crate::instance_gen::ScenarioGenerator;
 use crate::runner::{run_seeds, Aggregate};
 use crate::{Result, SimError};
 use gridvo_core::mechanism::{FormationConfig, Mechanism, SolverChoice};
+use gridvo_core::solve_cache::NoCache;
 use gridvo_core::{FormationOutcome, FormationScenario};
-use gridvo_solver::branch_bound::BranchBound;
+use gridvo_solver::branch_bound::{BranchBound, Budget};
+use gridvo_solver::portfolio::Portfolio;
 use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
 
 /// Mechanism configuration used by all experiments: exact B&B with the
 /// configured node budget, paper defaults elsewhere.
@@ -191,6 +194,152 @@ pub fn warm_cold_sweep(cfg: &TableI, seeds: &[u64]) -> Result<Vec<WarmColdPoint>
             cold_nodes,
             warm_nodes,
             speedup,
+        });
+    }
+    Ok(points)
+}
+
+/// GSP counts above which the bit-identity cross-check is skipped
+/// (the unlimited exact baseline is out of reach there — that is the
+/// point of the anytime portfolio).
+const SCALE_EXACT_CHECK_MAX_GSPS: usize = 16;
+
+/// Node cap used by the bit-identity cross-check. Any value works —
+/// the property under test is that the portfolio and the exact solver
+/// truncate *identically* under the same deterministic cap — so it is
+/// kept small to bound the check's runtime.
+const SCALE_CHECK_NODE_CAP: u64 = 200_000;
+
+/// One GSP-count point of the anytime scale frontier
+/// (`BENCH_formation.json`'s `scale_frontier` section).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Provider-pool size.
+    pub gsps: usize,
+    /// Program size (2 tasks per GSP).
+    pub tasks: usize,
+    /// Wall-clock seconds per budgeted formation run.
+    pub seconds: Aggregate,
+    /// Total branch-and-bound nodes expanded across rounds and seeds.
+    pub nodes: u64,
+    /// Mean relative optimality gap of the selected VO across formed
+    /// runs (proven-optimal selections contribute 0).
+    pub mean_gap: f64,
+    /// Worst selected-VO gap across formed runs.
+    pub worst_gap: f64,
+    /// Runs whose trace contained at least one truncated solve.
+    pub truncated_runs: usize,
+    /// Runs that selected a VO.
+    pub formed_runs: usize,
+    /// Bit-identity cross-check (small scales only): every seed's
+    /// node-capped portfolio trace equalled the exact solver's under
+    /// the same cap. `None` above [`SCALE_EXACT_CHECK_MAX_GSPS`].
+    pub exact_match: Option<bool>,
+}
+
+/// The anytime scale frontier: formation with the racing
+/// [`Portfolio`] under a fixed wall-clock budget per run, swept over
+/// provider-pool sizes (2 tasks per GSP). At small scales every run
+/// is additionally replayed with a *node-capped* budget against the
+/// plain exact solver under the same cap — the deterministic half of
+/// the budget — and the traces must agree bit for bit.
+pub fn scale_sweep(
+    cfg: &TableI,
+    gsp_counts: &[usize],
+    budget_ms: u64,
+    seeds: &[u64],
+) -> Result<Vec<ScalePoint>> {
+    let mut points = Vec::with_capacity(gsp_counts.len());
+    for (idx, &gsps) in gsp_counts.iter().enumerate() {
+        let tasks = gsps * 2;
+        let scale_cfg = TableI { gsps, task_sizes: vec![tasks], ..cfg.clone() };
+        let generator = ScenarioGenerator::new(scale_cfg.clone());
+        let budgeted_cfg = FormationConfig {
+            solver: SolverChoice::Portfolio(Portfolio::default()),
+            ..Default::default()
+        };
+        let capped_cfg = FormationConfig {
+            solver: SolverChoice::Portfolio(Portfolio {
+                exact: BranchBound { max_nodes: u64::MAX, seed_incumbent: true },
+            }),
+            ..Default::default()
+        };
+        let exact_cfg = FormationConfig {
+            solver: SolverChoice::Exact(BranchBound {
+                max_nodes: SCALE_CHECK_NODE_CAP,
+                seed_incumbent: true,
+            }),
+            ..Default::default()
+        };
+        let results = run_seeds(0x5CA10 + idx as u64, seeds, |seed, rng| {
+            let scenario = generator.scenario(tasks, rng)?;
+            // The budgeted anytime run: one wall-clock budget covers
+            // the whole formation (every eviction round).
+            let budget = Budget::with_deadline(Instant::now() + Duration::from_millis(budget_ms));
+            let outcome = Mechanism::tvof(budgeted_cfg)
+                .run_cached_with_budget(
+                    &scenario,
+                    &mut crate::runner::seeded_rng(0x5CA11, seed),
+                    &mut NoCache,
+                    &budget,
+                )
+                .map_err(SimError::from)?;
+            // Bit-identity cross-check under the deterministic half of
+            // the budget (node cap only), twin RNG streams.
+            let exact_match = if gsps <= SCALE_EXACT_CHECK_MAX_GSPS {
+                let cap = Budget { deadline: None, max_nodes: SCALE_CHECK_NODE_CAP };
+                let mut capped = Mechanism::tvof(capped_cfg)
+                    .run_cached_with_budget(
+                        &scenario,
+                        &mut crate::runner::seeded_rng(0x5CA12, seed),
+                        &mut NoCache,
+                        &cap,
+                    )
+                    .map_err(SimError::from)?;
+                let mut exact = Mechanism::tvof(exact_cfg)
+                    .run(&scenario, &mut crate::runner::seeded_rng(0x5CA12, seed))
+                    .map_err(SimError::from)?;
+                capped.zero_timings();
+                exact.zero_timings();
+                Some(capped == exact)
+            } else {
+                None
+            };
+            Ok::<_, SimError>((outcome, exact_match))
+        });
+        let mut secs = Vec::new();
+        let mut nodes = 0u64;
+        let mut gaps = Vec::new();
+        let (mut truncated_runs, mut formed_runs) = (0usize, 0usize);
+        let mut exact_match: Option<bool> = None;
+        for r in results {
+            let (outcome, matched) = r?;
+            secs.push(outcome.total_seconds);
+            nodes += outcome.iterations.iter().map(|i| i.nodes).sum::<u64>();
+            if outcome.feasible_vos.iter().any(|v| !v.optimal) {
+                truncated_runs += 1;
+            }
+            if let Some(vo) = &outcome.selected {
+                formed_runs += 1;
+                gaps.push(vo.gap.unwrap_or(0.0));
+            }
+            if let Some(m) = matched {
+                exact_match = Some(exact_match.unwrap_or(true) && m);
+            }
+        }
+        let mean_gap =
+            if gaps.is_empty() { 0.0 } else { gaps.iter().sum::<f64>() / gaps.len() as f64 };
+        let worst_gap = gaps.iter().copied().fold(0.0f64, f64::max);
+        points.push(ScalePoint {
+            gsps,
+            tasks,
+            seconds: Aggregate::of(&secs),
+            nodes,
+            mean_gap,
+            worst_gap,
+            truncated_runs,
+            formed_runs,
+            exact_match,
         });
     }
     Ok(points)

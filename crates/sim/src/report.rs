@@ -3,9 +3,10 @@
 //! paper figure plots.
 
 use crate::experiments::{
-    FaultSweepPoint, ReputationPoint, SelectionComparison, SweepPoint, TracePair,
+    FaultSweepPoint, ReputationPoint, ScalePoint, SelectionComparison, SweepPoint, TracePair,
+    WarmColdPoint,
 };
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// CSV for Fig. 1: `tasks, tvof_payoff, tvof_std, rvof_payoff, rvof_std`.
 pub fn fig1_csv(points: &[SweepPoint]) -> String {
@@ -146,6 +147,38 @@ pub fn reputation_csv(points: &[ReputationPoint]) -> String {
     out
 }
 
+/// The combined `BENCH_formation.json` artifact: the warm/cold
+/// incremental benchmark plus the anytime scale frontier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchFormation {
+    /// Cold vs warm formation runs per program size.
+    pub warm_cold: Vec<WarmColdPoint>,
+    /// Budgeted portfolio formation per provider-pool size.
+    pub scale_frontier: Vec<ScalePoint>,
+}
+
+/// CSV for the scale frontier: one row per GSP count.
+pub fn scale_csv(points: &[ScalePoint]) -> String {
+    let mut out = String::from(
+        "gsps,tasks,seconds_mean,nodes,mean_gap,worst_gap,truncated_runs,formed_runs,exact_match\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{:.6},{},{:.6},{:.6},{},{},{}\n",
+            p.gsps,
+            p.tasks,
+            p.seconds.mean,
+            p.nodes,
+            p.mean_gap,
+            p.worst_gap,
+            p.truncated_runs,
+            p.formed_runs,
+            p.exact_match.map_or("n/a".to_string(), |m| m.to_string()),
+        ));
+    }
+    out
+}
+
 /// Pretty JSON for any serializable result.
 pub fn to_json<T: Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).expect("experiment results serialize")
@@ -210,6 +243,7 @@ mod tests {
             solve_seconds: 0.01,
             nodes: 17,
             incumbent_source: Some("warm".to_string()),
+            gap: Some(0.0),
             power_iterations: 3,
         };
         let t = TracePair { tasks: 12, seed: 1, tvof: vec![it.clone()], rvof: vec![it] };

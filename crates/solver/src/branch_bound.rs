@@ -16,9 +16,13 @@
 //! `break` (all later children are costlier), which is what makes the
 //! search close instantly on instances where constraints do not bind.
 //!
-//! The search is exact; a configurable node budget turns it into an
-//! anytime algorithm, with [`SolveOutcome::optimal`] reporting whether
-//! the tree was exhausted.
+//! The search is exact; a configurable node budget and an optional
+//! wall-clock deadline (see [`Budget`]) turn it into an anytime
+//! algorithm, with [`SolveOutcome::optimal`] reporting whether the
+//! tree was exhausted and [`SolveOutcome::gap`] bounding how far the
+//! returned incumbent can be from the optimum.
+
+use std::time::Instant;
 
 use crate::bounds::BoundTables;
 use crate::heuristics;
@@ -27,6 +31,57 @@ use crate::solution::Assignment;
 
 /// Absolute cost tolerance used when comparing bounds to incumbents.
 pub(crate) const COST_EPS: f64 = 1e-9;
+
+/// How many nodes are expanded between wall-clock deadline checks (and
+/// shared-incumbent syncs in parallel mode). This is the granularity
+/// of the anytime guarantee: a deadline overrun is bounded by the time
+/// it takes to expand this many nodes (microseconds-to-milliseconds).
+const CHECK_INTERVAL: u64 = 1024;
+
+/// A shared anytime budget for one solve: an optional absolute
+/// wall-clock deadline and a node cap. The deadline is checked every
+/// [`CHECK_INTERVAL`] nodes; when either limit trips, the search
+/// returns its best incumbent so far (flagged non-optimal, with an
+/// optimality gap attached) instead of running to exhaustion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Budget {
+    /// Absolute instant after which the search must stop. `None`
+    /// disables the wall-clock limit.
+    pub deadline: Option<Instant>,
+    /// Node cap for this solve, combined (min) with the solver's own
+    /// configured cap. `u64::MAX` disables it.
+    pub max_nodes: u64,
+}
+
+impl Budget {
+    /// No limits: the solve runs to proven optimality or exhaustion of
+    /// the solver's own configured node cap.
+    pub fn unlimited() -> Self {
+        Budget { deadline: None, max_nodes: u64::MAX }
+    }
+
+    /// A wall-clock-only budget expiring at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Budget { deadline: Some(deadline), max_nodes: u64::MAX }
+    }
+
+    /// True when neither limit is set — the regime in which budgeted
+    /// entry points are bit-identical to the plain exact solve.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_nodes == u64::MAX
+    }
+
+    /// True when the wall-clock deadline has already passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
 
 /// Configuration of the exact branch-and-bound solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,6 +147,19 @@ pub struct SolveOutcome {
     pub nodes: u64,
     /// Which seed (or the search itself) produced the final incumbent.
     pub incumbent_source: IncumbentSource,
+    /// Best proven lower bound on the optimum. Equals `cost` when
+    /// `optimal`; on a truncated solve it is the root relaxation bound
+    /// (max of the Hungarian participation bound, the Lagrangian dual
+    /// and the per-task cost bound), clamped to `≤ cost`.
+    pub lower_bound: Option<f64>,
+    /// Relative optimality gap `(cost − lower_bound) / cost`, in
+    /// `[0, 1]`. `Some(0.0)` when proven optimal.
+    pub gap: Option<f64>,
+    /// True when the solve was cut short by a wall-clock deadline
+    /// (rather than completing or exhausting a node cap). Deadline
+    /// truncation is wall-clock-dependent, hence not reproducible —
+    /// callers must not cache such results.
+    pub deadline_hit: bool,
 }
 
 /// Detailed solve status, distinguishing proven infeasibility from a
@@ -160,6 +228,21 @@ impl BranchBound {
         inst: &AssignmentInstance,
         warm: Option<&Assignment>,
     ) -> SolveStatus {
+        self.solve_status_with_budget(inst, warm, &Budget::unlimited())
+    }
+
+    /// Budgeted variant of [`BranchBound::solve_status_with_incumbent`]:
+    /// the search additionally stops at `budget.deadline` / after
+    /// `budget.max_nodes` nodes, returning the best incumbent found so
+    /// far with an optimality gap. With [`Budget::unlimited`] this is
+    /// the same code path as the plain exact solve — outputs are
+    /// bit-identical.
+    pub fn solve_status_with_budget(
+        &self,
+        inst: &AssignmentInstance,
+        warm: Option<&Assignment>,
+        budget: &Budget,
+    ) -> SolveStatus {
         // Root cut: the Hungarian participation bound (matching of
         // distinct representative tasks onto GSPs) dominates the
         // per-node bound. It can prove infeasibility against the
@@ -191,7 +274,8 @@ impl BranchBound {
             (None, None) => None,
         };
         let tables = BoundTables::new(inst);
-        let mut search = Searcher::new(inst, &tables, self.max_nodes, None);
+        let mut search = Searcher::new(inst, &tables, self.max_nodes.min(budget.max_nodes), None);
+        search.set_deadline(budget.deadline);
         if let Some((assignment, cost, source)) = seed {
             if cost <= root_bound + COST_EPS {
                 // the seed met the lower bound: proven optimal
@@ -201,12 +285,43 @@ impl BranchBound {
                     optimal: true,
                     nodes: 0,
                     incumbent_source: source,
+                    lower_bound: Some(cost),
+                    gap: Some(0.0),
+                    deadline_hit: false,
                 });
             }
             search.install_incumbent_from(assignment.as_slice().to_vec(), cost, source);
         }
-        search.dfs(0);
+        if budget.expired() {
+            // The deadline passed before the tree search could start:
+            // return the seed (if any) as the anytime incumbent.
+            search.mark_deadline_hit();
+        } else {
+            search.dfs(0);
+        }
         search.into_status()
+    }
+}
+
+/// Best proven root lower bound for `inst`: the max of the Hungarian
+/// participation bound, the Lagrangian dual and the per-task cost
+/// bound (all admissible). Used to attach an optimality gap to
+/// truncated solves.
+pub(crate) fn root_lower_bound(inst: &AssignmentInstance, tables: &BoundTables) -> f64 {
+    let k = inst.gsps();
+    let mut lb = tables.cost_lower_bound(0, 0.0, &vec![0usize; k]);
+    if tables.has_mu {
+        lb = lb.max(tables.lagrangian_lower_bound(0, 0.0, &vec![0.0; k], inst.deadline()));
+    }
+    lb.max(crate::hungarian::participation_bound(inst))
+}
+
+/// Relative optimality gap `(cost − lb) / cost`, clamped to `[0, 1]`.
+pub(crate) fn gap_for(cost: f64, lower_bound: f64) -> f64 {
+    if cost.abs() <= COST_EPS {
+        0.0
+    } else {
+        ((cost - lower_bound) / cost).clamp(0.0, 1.0)
     }
 }
 
@@ -227,6 +342,9 @@ pub(crate) struct Searcher<'a> {
     loads: Vec<f64>,
     counts: Vec<usize>,
     idle: usize,
+    /// Bit per GSP, set while the GSP has no task — mirrors
+    /// `counts[g] == 0` for the mask-based coverage prune.
+    idle_mask: Vec<u64>,
     committed: f64,
     // incumbent
     best_cost: f64,
@@ -237,7 +355,9 @@ pub(crate) struct Searcher<'a> {
     // accounting
     nodes: u64,
     budget: u64,
+    deadline: Option<Instant>,
     truncated: bool,
+    deadline_hit: bool,
     source: IncumbentSource,
     shared: Option<&'a dyn IncumbentSink>,
 }
@@ -250,6 +370,10 @@ impl<'a> Searcher<'a> {
         shared: Option<&'a dyn IncumbentSink>,
     ) -> Self {
         let k = inst.gsps();
+        let mut idle_mask = vec![0u64; tables.words];
+        for g in 0..k {
+            idle_mask[g / 64] |= 1u64 << (g % 64);
+        }
         Searcher {
             inst,
             tables,
@@ -257,6 +381,7 @@ impl<'a> Searcher<'a> {
             loads: vec![0.0; k],
             counts: vec![0; k],
             idle: k,
+            idle_mask,
             // the payment cap is the initial "incumbent": nothing more
             // expensive can ever be feasible (constraint (10))
             committed: 0.0,
@@ -265,10 +390,25 @@ impl<'a> Searcher<'a> {
             best: None,
             nodes: 0,
             budget,
+            deadline: None,
             truncated: false,
+            deadline_hit: false,
             source: IncumbentSource::None,
             shared,
         }
+    }
+
+    /// Arm the wall-clock deadline (checked every [`CHECK_INTERVAL`]
+    /// nodes).
+    pub(crate) fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Record that the wall-clock budget expired; the current best
+    /// incumbent (if any) becomes the anytime answer.
+    pub(crate) fn mark_deadline_hit(&mut self) {
+        self.truncated = true;
+        self.deadline_hit = true;
     }
 
     /// Pre-load a known feasible solution as the incumbent.
@@ -303,6 +443,7 @@ impl<'a> Searcher<'a> {
             self.loads[g] += self.inst.time(task, g);
             if self.counts[g] == 0 {
                 self.idle -= 1;
+                self.idle_mask[g / 64] &= !(1u64 << (g % 64));
             }
             self.counts[g] += 1;
             self.committed += self.inst.cost(task, g);
@@ -332,9 +473,18 @@ impl<'a> Searcher<'a> {
             self.truncated = true;
             return;
         }
-        // Periodically pull the global incumbent in parallel mode.
-        if self.shared.is_some() && self.nodes.is_multiple_of(1024) {
-            self.sync_shared();
+        // Periodic bookkeeping: wall-clock deadline check and (in
+        // parallel mode) a pull of the global incumbent.
+        if self.nodes.is_multiple_of(CHECK_INTERVAL) {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    self.mark_deadline_hit();
+                    return;
+                }
+            }
+            if self.shared.is_some() {
+                self.sync_shared();
+            }
         }
         let n = self.inst.tasks();
         if depth == n {
@@ -367,12 +517,34 @@ impl<'a> Searcher<'a> {
         if self.committed + self.tables.suffix_min_cost[depth] > self.inst.payment() + COST_EPS {
             return;
         }
+        // Lagrangian bound: admissible for any μ ≥ 0, and in the
+        // deadline-bound regime often far above the plain cost bound.
+        // Skipped when all multipliers are zero (it then degenerates
+        // to a bound the checks above already dominate).
+        if self.tables.has_mu {
+            let lag = self.tables.lagrangian_lower_bound(
+                depth,
+                self.committed,
+                &self.loads,
+                self.inst.deadline(),
+            );
+            if (self.have_incumbent && lag >= self.best_cost - COST_EPS)
+                || lag > self.inst.payment() + COST_EPS
+            {
+                return;
+            }
+        }
         if self.tables.time_infeasible(depth, &self.loads, self.inst.deadline()) {
             return;
         }
         let remaining = n - depth;
         if remaining < self.idle {
             return; // participation (13) can no longer be satisfied
+        }
+        // Mask-based coverage: an idle GSP no remaining task can reach
+        // within the deadline makes participation unsatisfiable.
+        if self.idle > 0 && self.tables.idle_uncoverable(depth, &self.idle_mask) {
+            return;
         }
         let must_cover = remaining == self.idle;
 
@@ -403,6 +575,7 @@ impl<'a> Searcher<'a> {
             self.loads[g] += dt;
             if self.counts[g] == 0 {
                 self.idle -= 1;
+                self.idle_mask[g / 64] &= !(1u64 << (g % 64));
             }
             self.counts[g] += 1;
             self.committed += dc;
@@ -414,6 +587,7 @@ impl<'a> Searcher<'a> {
             self.counts[g] -= 1;
             if self.counts[g] == 0 {
                 self.idle += 1;
+                self.idle_mask[g / 64] |= 1u64 << (g % 64);
             }
             self.loads[g] -= dt;
             self.chosen[depth] = usize::MAX;
@@ -427,13 +601,14 @@ impl<'a> Searcher<'a> {
         self.nodes
     }
 
-    pub(crate) fn take_best(self) -> (Option<(Vec<usize>, f64)>, u64, bool) {
-        let Searcher { best, best_cost, nodes, truncated, .. } = self;
-        (best.map(|b| (b, best_cost)), nodes, truncated)
+    pub(crate) fn take_best(self) -> (Option<(Vec<usize>, f64)>, u64, bool, bool) {
+        let Searcher { best, best_cost, nodes, truncated, deadline_hit, .. } = self;
+        (best.map(|b| (b, best_cost)), nodes, truncated, deadline_hit)
     }
 
     fn into_status(self) -> SolveStatus {
         let truncated = self.truncated;
+        let deadline_hit = self.deadline_hit;
         let nodes = self.nodes;
         match self.best {
             Some(b) => {
@@ -443,12 +618,21 @@ impl<'a> Searcher<'a> {
                 // via a seed or a search leaf (whose `committed` sums
                 // in branch order).
                 let cost = assignment.total_cost(self.inst);
+                let (lower_bound, gap) = if truncated {
+                    let lb = root_lower_bound(self.inst, self.tables).min(cost);
+                    (Some(lb), Some(gap_for(cost, lb)))
+                } else {
+                    (Some(cost), Some(0.0))
+                };
                 let outcome = SolveOutcome {
                     assignment,
                     cost,
                     optimal: !truncated,
                     nodes,
                     incumbent_source: self.source,
+                    lower_bound,
+                    gap,
+                    deadline_hit,
                 };
                 if truncated {
                     SolveStatus::Feasible(outcome)
@@ -601,6 +785,74 @@ mod tests {
         assert_eq!(o.cost, 3.0);
         let counts = o.assignment.task_counts(&i);
         assert!(counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_plain_solve() {
+        let i = inst(
+            5,
+            3,
+            vec![
+                3.0, 1.0, 2.0, //
+                1.0, 2.0, 3.0, //
+                2.0, 3.0, 1.0, //
+                1.0, 1.0, 4.0, //
+                2.0, 2.0, 2.0,
+            ],
+            vec![1.0; 15],
+            3.0,
+            100.0,
+        );
+        let bb = BranchBound::default();
+        assert_eq!(
+            bb.solve_status(&i),
+            bb.solve_status_with_budget(&i, None, &Budget::unlimited()),
+            "unlimited budget must be the same code path"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_returns_seed_as_anytime_incumbent() {
+        let i = inst(3, 2, vec![1.0, 4.0, 2.0, 1.0, 3.0, 2.0], vec![1.0; 6], 100.0, 100.0);
+        // A deadline in the past: no tree search, but the heuristic
+        // seed still yields a feasible anytime answer with a gap.
+        let budget = Budget::with_deadline(Instant::now());
+        match BranchBound::default().solve_status_with_budget(&i, None, &budget) {
+            SolveStatus::Feasible(o) => {
+                assert!(!o.optimal);
+                assert!(o.deadline_hit);
+                let lb = o.lower_bound.expect("truncated solve carries a bound");
+                let gap = o.gap.expect("truncated solve carries a gap");
+                assert!(lb <= o.cost + 1e-12);
+                assert!((0.0..=1.0).contains(&gap));
+                o.assignment.check_feasible(&i).unwrap();
+            }
+            // The seed can also prove optimality against the root
+            // bound before the deadline check — equally acceptable.
+            SolveStatus::Optimal(o) => assert!(o.optimal),
+            other => panic!("expected an anytime incumbent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gap_brackets_the_true_optimum_under_a_node_budget() {
+        let i =
+            inst(4, 2, vec![2.0, 3.0, 3.0, 2.0, 2.5, 2.6, 3.0, 2.0], vec![1.0; 8], 100.0, 100.0);
+        let (_, opt) = crate::brute::solve(&i).unwrap().expect("feasible");
+        let bb = BranchBound { max_nodes: 1, seed_incumbent: true };
+        match bb.solve_status(&i) {
+            SolveStatus::Feasible(o) => {
+                let lb = o.lower_bound.unwrap();
+                assert!(lb <= opt + 1e-9, "lower bound {lb} exceeds optimum {opt}");
+                assert!(o.cost >= opt - 1e-9, "incumbent {} beats optimum {opt}", o.cost);
+                assert!(!o.deadline_hit, "node-cap truncation is not a deadline hit");
+            }
+            SolveStatus::Optimal(o) => {
+                assert_eq!(o.gap, Some(0.0));
+                assert!((o.cost - opt).abs() < 1e-9);
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
     }
 
     #[test]

@@ -8,25 +8,28 @@
 
 use crate::instance::AssignmentInstance;
 use crate::solution::Assignment;
+use crate::SolverError;
 
 /// Hard cap on `gsps.pow(tasks)` beyond which [`solve`] refuses to run
 /// instead of hanging the test suite.
 pub const MAX_ENUMERATIONS: u128 = 50_000_000;
 
-/// Exhaustively find the optimal feasible assignment, or `None` when
-/// the instance is infeasible.
+/// Exhaustively find the optimal feasible assignment, or `Ok(None)`
+/// when the instance is infeasible.
 ///
-/// # Panics
-/// Panics when the enumeration count would exceed
-/// [`MAX_ENUMERATIONS`] — this is a test oracle, not a solver.
-pub fn solve(inst: &AssignmentInstance) -> Option<(Assignment, f64)> {
+/// # Errors
+/// Returns [`SolverError::TooLarge`] when the enumeration count would
+/// exceed [`MAX_ENUMERATIONS`] (or overflow entirely) — this is a test
+/// oracle, not a solver, and oversized instances must fail typed on
+/// every path instead of panicking.
+pub fn solve(inst: &AssignmentInstance) -> crate::Result<Option<(Assignment, f64)>> {
     let n = inst.tasks();
     let k = inst.gsps();
-    let total = (k as u128).checked_pow(n as u32).expect("enumeration count overflow");
-    assert!(
-        total <= MAX_ENUMERATIONS,
-        "brute-force oracle refused: {k}^{n} = {total} > {MAX_ENUMERATIONS}"
-    );
+    let total = (k as u128).checked_pow(n as u32);
+    match total {
+        Some(t) if t <= MAX_ENUMERATIONS => {}
+        _ => return Err(SolverError::TooLarge { tasks: n, gsps: k, limit: MAX_ENUMERATIONS }),
+    }
 
     let mut current = vec![0usize; n];
     let mut best: Option<(Vec<usize>, f64)> = None;
@@ -42,7 +45,7 @@ pub fn solve(inst: &AssignmentInstance) -> Option<(Assignment, f64)> {
         let mut i = 0;
         loop {
             if i == n {
-                return best.map(|(v, c)| (Assignment::new(v), c));
+                return Ok(best.map(|(v, c)| (Assignment::new(v), c)));
             }
             current[i] += 1;
             if current[i] < k {
@@ -69,7 +72,7 @@ mod tests {
             100.0,
         )
         .unwrap();
-        let (a, c) = solve(&i).unwrap();
+        let (a, c) = solve(&i).unwrap().unwrap();
         assert_eq!(c, 4.0);
         a.check_feasible(&i).unwrap();
     }
@@ -77,16 +80,26 @@ mod tests {
     #[test]
     fn detects_infeasibility() {
         let i = AssignmentInstance::new(2, 2, vec![10.0; 4], vec![1.0; 4], 10.0, 5.0).unwrap();
-        assert!(solve(&i).is_none());
+        assert!(solve(&i).unwrap().is_none());
     }
 
     #[test]
-    #[should_panic(expected = "brute-force oracle refused")]
-    fn refuses_huge_instances() {
+    fn refuses_huge_instances_with_a_typed_error() {
         let n = 40;
         let k = 4;
         let i =
             AssignmentInstance::new(n, k, vec![1.0; n * k], vec![1.0; n * k], 1e9, 1e9).unwrap();
-        let _ = solve(&i);
+        match solve(&i) {
+            Err(SolverError::TooLarge { tasks, gsps, limit }) => {
+                assert_eq!((tasks, gsps, limit), (n, k, MAX_ENUMERATIONS));
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // The error must render, not panic, on the overflow path too.
+        let n = 200;
+        let i =
+            AssignmentInstance::new(n, k, vec![1.0; n * k], vec![1.0; n * k], 1e9, 1e9).unwrap();
+        let err = solve(&i).unwrap_err();
+        assert!(err.to_string().contains("too large"), "got: {err}");
     }
 }

@@ -48,11 +48,13 @@ pub mod heuristics;
 pub mod hungarian;
 pub mod instance;
 pub mod parallel;
+pub mod portfolio;
 pub mod repair;
 pub mod solution;
 
-pub use branch_bound::{BranchBound, IncumbentSource, SolveOutcome};
+pub use branch_bound::{BranchBound, Budget, IncumbentSource, SolveOutcome};
 pub use instance::AssignmentInstance;
+pub use portfolio::Portfolio;
 pub use solution::{Assignment, FeasibilityError};
 
 /// Errors produced while constructing or solving instances.
@@ -88,6 +90,16 @@ pub enum SolverError {
         /// Number of GSPs.
         gsps: usize,
     },
+    /// The instance exceeds a solver's hard size limit (e.g. the
+    /// brute-force oracle's enumeration cap).
+    TooLarge {
+        /// Number of tasks.
+        tasks: usize,
+        /// Number of GSPs.
+        gsps: usize,
+        /// The enumeration limit that would be exceeded.
+        limit: u128,
+    },
 }
 
 impl std::fmt::Display for SolverError {
@@ -105,6 +117,13 @@ impl std::fmt::Display for SolverError {
             SolverError::Empty => write!(f, "instance has no tasks or no GSPs"),
             SolverError::TooFewTasks { tasks, gsps } => {
                 write!(f, "{tasks} tasks cannot cover {gsps} GSPs (constraint 13 infeasible)")
+            }
+            SolverError::TooLarge { tasks, gsps, limit } => {
+                write!(
+                    f,
+                    "instance too large to enumerate: {gsps}^{tasks} assignments exceed \
+                     the {limit}-enumeration cap"
+                )
             }
         }
     }

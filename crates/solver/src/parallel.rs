@@ -15,7 +15,8 @@
 
 use crate::bounds::BoundTables;
 use crate::branch_bound::{
-    IncumbentSink, IncumbentSource, Searcher, SolveOutcome, SolveStatus, COST_EPS,
+    gap_for, root_lower_bound, Budget, IncumbentSink, IncumbentSource, Searcher, SolveOutcome,
+    SolveStatus, COST_EPS,
 };
 use crate::heuristics;
 use crate::instance::AssignmentInstance;
@@ -132,6 +133,21 @@ impl ParallelBranchBound {
         inst: &AssignmentInstance,
         warm: Option<&Assignment>,
     ) -> SolveStatus {
+        self.solve_status_with_budget(inst, warm, &Budget::unlimited())
+    }
+
+    /// Budgeted variant of
+    /// [`ParallelBranchBound::solve_status_with_incumbent`]: every
+    /// subtree worker honors the shared wall-clock deadline, and the
+    /// node cap applies per subtree (combined with
+    /// `max_nodes_per_subtree`). [`Budget::unlimited`] is the same
+    /// code path as the plain parallel solve.
+    pub fn solve_status_with_budget(
+        &self,
+        inst: &AssignmentInstance,
+        warm: Option<&Assignment>,
+        budget: &Budget,
+    ) -> SolveStatus {
         let tables = BoundTables::new(inst);
         let shared = SharedIncumbent::new();
         let mut seed_source = IncumbentSource::None;
@@ -156,19 +172,30 @@ impl ParallelBranchBound {
         let frontier = build_frontier(inst, &tables, target);
 
         let total_nodes = AtomicU64::new(0);
+        let any_deadline_hit = AtomicBool::new(false);
+        let subtree_budget = self.max_nodes_per_subtree.min(budget.max_nodes);
+        let expired_at_entry = budget.expired();
         frontier.par_iter().for_each(|prefix| {
-            let mut s = Searcher::new(inst, &tables, self.max_nodes_per_subtree, Some(&shared));
+            let mut s = Searcher::new(inst, &tables, subtree_budget, Some(&shared));
+            s.set_deadline(budget.deadline);
             // Adopt the global incumbent cost before starting.
             let g = shared.best_cost();
             if g.is_finite() {
                 s.install_incumbent(Vec::new(), g); // cost-only incumbent
             }
             s.apply_prefix(prefix);
-            s.dfs(prefix.len());
+            if expired_at_entry {
+                s.mark_deadline_hit();
+            } else {
+                s.dfs(prefix.len());
+            }
             total_nodes.fetch_add(s.nodes(), Ordering::Relaxed);
-            let (best, _, truncated) = s.take_best();
+            let (best, _, truncated, deadline_hit) = s.take_best();
             if truncated {
                 shared.truncated.store(true, Ordering::Relaxed);
+            }
+            if deadline_hit {
+                any_deadline_hit.store(true, Ordering::Relaxed);
             }
             if let Some((assign, cost)) = best {
                 if !assign.is_empty() {
@@ -179,6 +206,7 @@ impl ParallelBranchBound {
 
         let nodes = total_nodes.load(Ordering::Relaxed);
         let truncated = shared.truncated.load(Ordering::Relaxed);
+        let deadline_hit = any_deadline_hit.load(Ordering::Relaxed);
         let cost = shared.best_cost();
         let best = shared.best.lock().take();
         match best {
@@ -190,12 +218,24 @@ impl ParallelBranchBound {
                 let assignment = Assignment::new(b);
                 // canonical task-order cost (see `Searcher::into_status`)
                 let cost = assignment.total_cost(inst);
+                let (lower_bound, gap) = if truncated {
+                    // Root bounds are computed lazily, only when the
+                    // search was actually cut short — the untruncated
+                    // path stays byte-identical to the pre-budget one.
+                    let lb = root_lower_bound(inst, &tables).min(cost);
+                    (Some(lb), Some(gap_for(cost, lb)))
+                } else {
+                    (Some(cost), Some(0.0))
+                };
                 let outcome = SolveOutcome {
                     assignment,
                     cost,
                     optimal: !truncated,
                     nodes,
                     incumbent_source: source,
+                    lower_bound,
+                    gap,
+                    deadline_hit,
                 };
                 if truncated {
                     SolveStatus::Feasible(outcome)

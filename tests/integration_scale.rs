@@ -1,0 +1,85 @@
+//! Scale smoke tests for the anytime solver portfolio: the 64-GSP
+//! regime the exact search cannot close is now *open* — a formation
+//! run under a wall-clock budget returns promptly with feasible
+//! anytime VOs and finite optimality gaps, and at small scales the
+//! portfolio is bit-identical to the exact solver it wraps.
+
+use std::time::{Duration, Instant};
+
+use gridvo_core::mechanism::{FormationConfig, Mechanism, SolverChoice};
+use gridvo_core::solve_cache::NoCache;
+use gridvo_sim::instance_gen::ScenarioGenerator;
+use gridvo_sim::runner::seeded_rng;
+use gridvo_sim::TableI;
+use gridvo_solver::branch_bound::Budget;
+use gridvo_solver::portfolio::Portfolio;
+
+fn portfolio_config() -> FormationConfig {
+    FormationConfig {
+        solver: SolverChoice::Portfolio(Portfolio::default()),
+        ..FormationConfig::default()
+    }
+}
+
+#[test]
+fn sixty_four_gsp_formation_completes_under_a_wall_clock_budget() {
+    // 64 GSPs x 128 tasks is far past the exact frontier (the search
+    // tree has 64^128 leaves); before the anytime budget this size
+    // was simply unreachable.
+    let cfg = TableI { gsps: 64, task_sizes: vec![128], trace_jobs: 2_000, ..TableI::default() };
+    let mut rng = seeded_rng(0x5CA1E, 0);
+    let scenario =
+        ScenarioGenerator::new(cfg).scenario(128, &mut rng).expect("calibrated 64-GSP scenario");
+
+    let budget = Budget::with_deadline(Instant::now() + Duration::from_secs(2));
+    let started = Instant::now();
+    let outcome = Mechanism::tvof(portfolio_config())
+        .run_cached_with_budget(&scenario, &mut seeded_rng(1, 0), &mut NoCache, &budget)
+        .expect("formation runs");
+    let elapsed = started.elapsed();
+
+    // Generous CI margin: the budget bounds each solve to the 2 s
+    // deadline (within one bound-check interval); the eviction loop
+    // adds only heuristic-seeding overhead per round afterwards.
+    assert!(elapsed < Duration::from_secs(60), "64-GSP formation took {elapsed:?}");
+
+    // Calibration guarantees a heuristically-feasible grand
+    // coalition, so the anytime race must record at least one VO.
+    assert!(!outcome.feasible_vos.is_empty(), "no feasible VO at 64 GSPs");
+    let vo = outcome.selected.as_ref().expect("a VO is selected");
+    let inst = scenario.instance_for(&vo.members).expect("restriction succeeds");
+    vo.assignment.check_feasible(&inst).expect("selected anytime assignment is feasible");
+    for v in &outcome.feasible_vos {
+        if !v.optimal {
+            let gap = v.gap.expect("anytime VOs carry a gap");
+            assert!((0.0..=1.0).contains(&gap), "gap {gap} out of range");
+        }
+    }
+}
+
+#[test]
+fn portfolio_formation_is_bit_identical_to_exact_at_small_scale() {
+    // With an unlimited budget the portfolio *is* the exact solver —
+    // whole formation traces must agree bit for bit.
+    let cfg = TableI {
+        gsps: 6,
+        task_sizes: vec![24],
+        trace_jobs: 2_000,
+        deadline_factor_range: (4.0, 16.0),
+        ..TableI::default()
+    };
+    let generator = ScenarioGenerator::new(cfg);
+    for seed in 0..3u64 {
+        let scenario =
+            generator.scenario(24, &mut seeded_rng(0x5CA1F, seed)).expect("calibrated scenario");
+        let mut exact = Mechanism::tvof(FormationConfig::default())
+            .run(&scenario, &mut seeded_rng(2, seed))
+            .expect("exact run");
+        let mut raced = Mechanism::tvof(portfolio_config())
+            .run(&scenario, &mut seeded_rng(2, seed))
+            .expect("portfolio run");
+        exact.zero_timings();
+        raced.zero_timings();
+        assert_eq!(exact, raced, "seed {seed}: portfolio diverged from exact");
+    }
+}

@@ -6,9 +6,10 @@
 //! verdict, same optimal cost. Heuristics must be sound (feasible or
 //! `None`) and never beat the optimum.
 
-use gridvo_solver::branch_bound::BranchBound;
+use gridvo_solver::branch_bound::{BranchBound, Budget, SolveStatus};
 use gridvo_solver::heuristics::{self, Heuristic};
 use gridvo_solver::parallel::ParallelBranchBound;
+use gridvo_solver::portfolio::Portfolio;
 use gridvo_solver::{brute, repair, AssignmentInstance};
 use proptest::prelude::*;
 
@@ -36,7 +37,7 @@ proptest! {
 
     #[test]
     fn branch_and_bound_matches_brute_force(inst in small_instance()) {
-        let oracle = brute::solve(&inst);
+        let oracle = brute::solve(&inst).expect("small instances enumerate");
         let bb = BranchBound::default().solve(&inst);
         match (oracle, bb) {
             (None, None) => {}
@@ -122,10 +123,63 @@ proptest! {
                 prop_assert!(repaired.is_feasible(&sub),
                     "repair after evicting {evicted} claimed success but is infeasible");
                 let (_, reduced_opt) = brute::solve(&sub)
+                    .expect("small instances enumerate")
                     .expect("a feasible repair implies a feasible reduced instance");
                 let c = repaired.total_cost(&sub);
                 prop_assert!(c >= reduced_opt - 1e-9,
                     "repair cost {c} beats the reduced optimum {reduced_opt}");
+            }
+        }
+    }
+
+    /// The tentpole's differential guarantee: the racing portfolio
+    /// under an unlimited budget is the exact solver — not "equally
+    /// optimal" but the *same* `SolveStatus` value, telemetry and all.
+    #[test]
+    fn portfolio_with_unlimited_budget_is_bit_identical_to_exact(inst in small_instance()) {
+        let exact = BranchBound::default().solve_status(&inst);
+        let raced = Portfolio::default()
+            .solve_status_with_budget(&inst, None, &Budget::unlimited());
+        prop_assert_eq!(exact, raced);
+    }
+
+    /// Gap soundness against the brute-force oracle: under any node
+    /// budget, a feasible outcome's reported bracket must contain the
+    /// true optimum — `lower_bound ≤ optimum ≤ incumbent cost` — and
+    /// the gap must match its definition.
+    #[test]
+    fn reported_gap_brackets_the_true_optimum(
+        inst in small_instance(),
+        max_nodes in prop_oneof![Just(0u64), Just(1), Just(4), Just(32), Just(u64::MAX)],
+    ) {
+        let oracle = brute::solve(&inst).expect("small instances enumerate");
+        let budget = Budget { deadline: None, max_nodes };
+        for status in [
+            Portfolio::default().solve_status_with_budget(&inst, None, &budget),
+            BranchBound::default().solve_status_with_budget(&inst, None, &budget),
+        ] {
+            match status {
+                SolveStatus::Optimal(o) => {
+                    let (_, opt) = oracle.clone().expect("solver proved feasibility");
+                    prop_assert!((o.cost - opt).abs() < 1e-9);
+                    prop_assert_eq!(o.gap, Some(0.0));
+                    prop_assert_eq!(o.lower_bound, Some(o.cost));
+                }
+                SolveStatus::Feasible(o) => {
+                    let (_, opt) = oracle.clone().expect("solver found a feasible point");
+                    let lb = o.lower_bound.expect("truncated solves report a bound");
+                    let gap = o.gap.expect("truncated solves report a gap");
+                    prop_assert!(lb <= opt + 1e-9, "lower bound {lb} above optimum {opt}");
+                    prop_assert!(o.cost >= opt - 1e-9, "incumbent {} below optimum {opt}", o.cost);
+                    prop_assert!((0.0..=1.0).contains(&gap), "gap {gap} out of range");
+                    let expect = if o.cost.abs() <= 1e-9 { 0.0 }
+                        else { ((o.cost - lb) / o.cost).clamp(0.0, 1.0) };
+                    prop_assert!((gap - expect).abs() < 1e-12);
+                }
+                SolveStatus::Infeasible { .. } => {
+                    prop_assert!(oracle.is_none(), "solver claimed infeasible, oracle disagrees");
+                }
+                SolveStatus::Unknown { .. } => {} // budget too small to say anything
             }
         }
     }
