@@ -10,12 +10,17 @@ const HELP: &str = "\
 usage: gridvo request <op> --addr HOST:PORT [op flags]
 
 ops:
-  form          --seed S [--mechanism tvof|rvof] [--deadline-ms D] [--out f.json]
+  form          --seed S [--app NAME] [--mechanism tvof|rvof]
+                [--deadline-ms D] [--out f.json]    (--app contends on
+                the shared market: forms over the uncommitted sub-pool
+                and leases the winning coalition)
   form-batch    --seeds S1,S2,.. [--mechanism tvof|rvof] [--deadline-ms D]
                 [--out f.json]    (one snapshot, one cache pass, streamed
                 per-seed responses; --out captures the whole stream)
   execute       --seed S [--plan plan.json] [--mechanism tvof|rvof]
                 [--deadline-ms D] [--out f.json]
+  release-lease --lease L [--abandon]
+  leases        [--out f.json]
   metrics       [--out f.json]
   registry      [--json] [--out f.json]
   report-trust  --from I --to J --value V
@@ -26,8 +31,8 @@ ops:
   ping          [--sleep-ms N]
 
 Sends one request to a running `gridvo serve` daemon and prints the
-response. Busy / deadline-exceeded responses exit non-zero so shell
-loops can back off and retry.";
+response. Busy / throttled / pool-exhausted / deadline-exceeded
+responses exit non-zero so shell loops can back off and retry.";
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let Some((op, rest)) = argv.split_first() else {
@@ -55,8 +60,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "round",
             "reward",
             "witnesses",
+            "app",
+            "lease",
         ],
-        &["json", "success"],
+        &["json", "success", "abandon"],
     )
     .map_err(|e| if e == "help" { HELP.to_string() } else { e })?;
     let addr = flags.require("addr")?;
@@ -67,6 +74,25 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "form" => form(&mut client, &flags),
         "form-batch" => form_batch(&mut client, &flags),
         "execute" => execute(&mut client, &flags),
+        "release-lease" => {
+            let lease: u64 = flags.num("lease", u64::MAX)?;
+            let abandon = flags.has("abandon");
+            let epoch = client.release_lease(lease, abandon).map_err(|e| e.to_string())?;
+            let how = if abandon { "abandoned" } else { "completed" };
+            println!("lease {lease} {how}; registry epoch now {epoch}");
+            Ok(())
+        }
+        "leases" => {
+            let (leases, free, epoch) = client.leases().map_err(|e| e.to_string())?;
+            println!("{} live lease(s), {} free GSP(s), epoch {}", leases.len(), free.len(), epoch);
+            for lease in &leases {
+                println!(
+                    "  lease {} (app {:?}): GSPs {:?}, acquired at epoch {}",
+                    lease.id, lease.app, lease.members, lease.acquired_epoch,
+                );
+            }
+            maybe_out(&flags, &leases)
+        }
         "metrics" => {
             let snapshot = client.metrics().map_err(|e| e.to_string())?;
             println!(
@@ -95,6 +121,20 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                 snapshot.service_ms.mean_ms(),
                 snapshot.service_ms.max_ms,
             );
+            println!(
+                "market: {} GSP(s) committed across {} lease(s); acquired {}, released {}, \
+                 expired {}; shed {} pool-exhausted, {} throttled",
+                snapshot.committed_gsps,
+                snapshot.live_leases,
+                snapshot.leases_acquired,
+                snapshot.leases_released,
+                snapshot.leases_expired,
+                snapshot.pool_exhausted_rejections,
+                snapshot.throttled_rejections,
+            );
+            for d in &snapshot.app_queue_depths {
+                println!("  app {:?}: {} outstanding", d.app, d.depth);
+            }
             maybe_out(&flags, &snapshot)
         }
         "registry" => {
@@ -192,8 +232,13 @@ fn deadline(flags: &Flags) -> Result<Option<u64>, String> {
 
 fn form(client: &mut ServiceClient, flags: &Flags) -> Result<(), String> {
     let seed: u64 = flags.num("seed", 1)?;
-    match client.form(seed, mechanism(flags)?, deadline(flags)?).map_err(|e| e.to_string())? {
-        Response::Form { outcome, truncated, gap } => {
+    let response = match flags.get("app") {
+        Some(app) => client.form_in_app(app, seed, mechanism(flags)?, deadline(flags)?),
+        None => client.form(seed, mechanism(flags)?, deadline(flags)?),
+    }
+    .map_err(|e| e.to_string())?;
+    match response {
+        Response::Form { outcome, truncated, gap, lease, lease_epoch, .. } => {
             match &outcome.selected {
                 Some(vo) => println!(
                     "selected VO {:?}: payoff/GSP {:.2}, avg reputation {:.4}, cost {:.1} \
@@ -210,6 +255,15 @@ fn form(client: &mut ServiceClient, flags: &Flags) -> Result<(), String> {
                 println!(
                     "anytime result: a budget truncated the solve (gap {})",
                     gap.map_or("unknown".to_string(), |g| format!("{:.2}%", g * 100.0)),
+                );
+            }
+            if let Some(lease) = lease {
+                println!(
+                    "coalition committed as lease {} (epoch {}); release with \
+                     `gridvo request release-lease --lease {}`",
+                    lease,
+                    lease_epoch.map_or("?".to_string(), |e| e.to_string()),
+                    lease,
                 );
             }
             maybe_out(flags, &outcome)
@@ -300,6 +354,10 @@ fn shed(response: Response) -> Result<(), String> {
     match response {
         Response::Busy => Err("server busy (queue full) — retry later".to_string()),
         Response::DeadlineExceeded => Err("request dropped: deadline exceeded".to_string()),
+        Response::Throttled => Err("request throttled (rate limit) — back off".to_string()),
+        Response::PoolExhausted { free } => {
+            Err(format!("pool exhausted ({free} free GSP(s)) — release a lease or retry later"))
+        }
         Response::Error { message } => Err(format!("server error: {message}")),
         other => Err(format!("unexpected response kind {:?}", other.kind())),
     }

@@ -16,6 +16,8 @@ usage: gridvo serve [--scenario FILE | --tasks N --gsps M --seed S]
                     [--addr 127.0.0.1:0] [--workers W] [--queue Q]
                     [--cache C] [--deadline-ms D] [--shards S]
                     [--data-dir DIR] [--fsync POLICY] [--compact-bytes B]
+                    [--rate-limit R] [--app-queue Q] [--min-free K]
+                    [--lease-ttl-ms T]
 
 Starts the long-running VO-formation daemon on a loopback TCP port,
 serving the newline-delimited-JSON protocol (see `gridvo request`).
@@ -42,7 +44,19 @@ purely in memory):
                    (default per-epoch: one fdatasync per 32-epoch
                    durability window)
   --compact-bytes  journal size triggering snapshot+truncate
-                   compaction (default 1048576)";
+                   compaction (default 1048576)
+
+Market admission (see `gridvo request form --app` / `leases`):
+
+  --rate-limit     per-connection request rate (req/s); beyond it
+                   requests get Throttled (default off)
+  --app-queue      outstanding market forms allowed per application
+                   before Busy (default 16)
+  --min-free       shed market forms with PoolExhausted when fewer
+                   than K GSPs are uncommitted (default 1)
+  --lease-ttl-ms   lease time-to-live; expired leases are released
+                   server-side, journaled as reason \"expired\"
+                   (default 0 = never)";
 
 /// SIGTERM flag, set by a minimal C-ABI handler. The daemon's main
 /// loop polls it; no async-signal-unsafe work happens in the handler.
@@ -104,6 +118,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             "data-dir",
             "fsync",
             "compact-bytes",
+            "rate-limit",
+            "app-queue",
+            "min-free",
+            "lease-ttl-ms",
         ],
         &[],
     )
@@ -157,6 +175,19 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         default_deadline_ms: flags.num("deadline-ms", 0)?,
         shards: flags.num("shards", gridvo_service::DEFAULT_SHARDS)?,
         persistence,
+        rate_limit: match flags.get("rate-limit") {
+            None => None,
+            Some(_) => {
+                let rate: f64 = flags.num("rate-limit", 0.0)?;
+                if rate <= 0.0 {
+                    return Err(format!("--rate-limit {rate} must be positive"));
+                }
+                Some(rate)
+            }
+        },
+        app_queue_capacity: flags.num("app-queue", 16)?,
+        min_free: flags.num("min-free", 1)?,
+        lease_ttl_ms: flags.num("lease-ttl-ms", 0)?,
     };
     let handle =
         ServerHandle::spawn(&scenario, config).map_err(|e| format!("cannot start daemon: {e}"))?;

@@ -124,6 +124,33 @@ impl FormationOutcome {
             it.solve_seconds = 0.0;
         }
     }
+
+    /// Rewrite every member id through `map` (`local index → global
+    /// id`). Formation over a restricted sub-pool runs the mechanism
+    /// on a scenario whose GSPs are renumbered 0..k; this lifts the
+    /// resulting records back into the full pool's id space.
+    /// Positional fields — `assignment` (indices into `members`) and
+    /// `reputation_scores` (aligned with `members`) — are untouched.
+    /// Ids outside `map` (stale records) are left as-is.
+    pub fn map_members(&mut self, map: &[usize]) {
+        let lift = |id: &mut usize| {
+            if let Some(&global) = map.get(*id) {
+                *id = global;
+            }
+        };
+        for it in &mut self.iterations {
+            it.members.iter_mut().for_each(lift);
+            if let Some(evicted) = &mut it.evicted {
+                lift(evicted);
+            }
+        }
+        for vo in &mut self.feasible_vos {
+            vo.members.iter_mut().for_each(lift);
+        }
+        if let Some(vo) = &mut self.selected {
+            vo.members.iter_mut().for_each(lift);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +188,38 @@ mod tests {
         assert_eq!(outcome.best_payoff_share(), Some(5.0));
         // products: 2.7 vs 1.5 → the triple wins on the product key
         assert_eq!(outcome.best_product_vo().unwrap().members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn map_members_lifts_local_ids() {
+        let mut outcome = FormationOutcome {
+            iterations: vec![IterationRecord {
+                iteration: 0,
+                members: vec![0, 1, 2],
+                feasible: true,
+                cost: Some(10.0),
+                payoff_share: Some(3.0),
+                avg_reputation: 0.5,
+                reputation_scores: vec![0.2, 0.3, 0.5],
+                evicted: Some(1),
+                solve_seconds: 0.0,
+                nodes: 4,
+                incumbent_source: None,
+                gap: Some(0.0),
+                power_iterations: 1,
+            }],
+            feasible_vos: vec![vo(vec![0, 2], 4.0, 0.5)],
+            selected: Some(vo(vec![0, 2], 4.0, 0.5)),
+            total_seconds: 0.0,
+        };
+        // Free sub-pool [1, 3, 5]: local 0→1, 1→3, 2→5.
+        outcome.map_members(&[1, 3, 5]);
+        assert_eq!(outcome.iterations[0].members, vec![1, 3, 5]);
+        assert_eq!(outcome.iterations[0].evicted, Some(3));
+        // Positional fields are untouched.
+        assert_eq!(outcome.iterations[0].reputation_scores, vec![0.2, 0.3, 0.5]);
+        assert_eq!(outcome.feasible_vos[0].members, vec![1, 5]);
+        assert_eq!(outcome.selected.as_ref().unwrap().members, vec![1, 5]);
     }
 
     #[test]

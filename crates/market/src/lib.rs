@@ -1,0 +1,34 @@
+//! Concurrent multi-VO market substrate.
+//!
+//! The paper's mechanism forms one VO at a time against the full GSP
+//! pool. Real grids run many applications competing for overlapping
+//! providers, so this crate supplies the market layer that lets
+//! concurrent formation requests contend for a shared pool:
+//!
+//! - [`lease`] — an epoch-stamped [`LeaseTable`] recording which GSPs
+//!   are committed to a live VO. `form` acquires a lease on the winning
+//!   coalition; execute/abandon releases it. The table is plain data
+//!   (serde round-trips, deterministic lease ids) so it journals and
+//!   replays through the service's existing event log.
+//! - [`admission`] — contention-aware admission primitives: a
+//!   [`TokenBucket`] for per-client rate limiting and [`AppQueues`]
+//!   bounding how many requests each application may have in flight.
+//! - [`stability`] — hedonic-stability-under-contention checks: given
+//!   the set of concurrently committed coalitions, count the members
+//!   that would defect to a richer concurrent VO under equal-split
+//!   payoffs.
+//!
+//! The crate deliberately knows nothing about solvers, registries, or
+//! wire protocols; it is pure bookkeeping that the service and the
+//! simulator both drive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod lease;
+pub mod stability;
+
+pub use admission::{AppQueues, TokenBucket};
+pub use lease::{Lease, LeaseError, LeaseTable};
+pub use stability::{CommittedVo, Violation};

@@ -1,0 +1,106 @@
+//! Hedonic stability under contention.
+//!
+//! The paper's mechanism guarantees that no GSP prefers a *previously
+//! seen* coalition to the selected one. Under a concurrent market
+//! there is a new defection route: a provider committed to one VO can
+//! observe a *richer concurrent VO* formed from the same pool and
+//! prefer it under equal-split payoffs. This module counts those envy
+//! edges over the set of live committed coalitions. The count is an
+//! upper bound on defection incentive — the richer VO is already
+//! full, so a defector would still need to be admitted — but a zero
+//! count certifies that equal-split payoffs clear the market.
+
+use serde::{Deserialize, Serialize};
+
+/// Tolerance below which two payoff shares are considered equal.
+const EPS: f64 = 1e-9;
+
+/// One live committed coalition, as seen by the stability check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommittedVo {
+    /// The application holding the coalition.
+    pub app: String,
+    /// Global GSP ids of the members.
+    pub members: Vec<usize>,
+    /// Equal-split payoff per member.
+    pub payoff_share: f64,
+}
+
+/// A member of a poorer live coalition envying a richer concurrent VO.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The envious GSP.
+    pub gsp: usize,
+    /// The application whose coalition the GSP is committed to.
+    pub held_by: String,
+    /// The GSP's current equal-split share.
+    pub held_share: f64,
+    /// The richest concurrent application's name.
+    pub richer_app: String,
+    /// The richer coalition's equal-split share.
+    pub richer_share: f64,
+}
+
+/// Envy edges across `live` coalitions: for every member of a
+/// coalition strictly poorer than the richest *other* live coalition,
+/// one [`Violation`] against that richest alternative. Deterministic:
+/// coalitions and members are visited in the order given.
+pub fn violations(live: &[CommittedVo]) -> Vec<Violation> {
+    let mut found = Vec::new();
+    for (i, vo) in live.iter().enumerate() {
+        let richest = live.iter().enumerate().filter(|&(j, _)| j != i).max_by(|(_, a), (_, b)| {
+            a.payoff_share.partial_cmp(&b.payoff_share).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let Some((_, richer)) = richest else { continue };
+        if richer.payoff_share <= vo.payoff_share + EPS {
+            continue;
+        }
+        for &gsp in &vo.members {
+            found.push(Violation {
+                gsp,
+                held_by: vo.app.clone(),
+                held_share: vo.payoff_share,
+                richer_app: richer.app.clone(),
+                richer_share: richer.payoff_share,
+            });
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vo(app: &str, members: &[usize], share: f64) -> CommittedVo {
+        CommittedVo { app: app.to_string(), members: members.to_vec(), payoff_share: share }
+    }
+
+    #[test]
+    fn single_coalition_has_no_envy() {
+        assert!(violations(&[vo("a", &[0, 1], 5.0)]).is_empty());
+    }
+
+    #[test]
+    fn equal_shares_are_stable() {
+        let live = [vo("a", &[0, 1], 5.0), vo("b", &[2, 3], 5.0)];
+        assert!(violations(&live).is_empty());
+    }
+
+    #[test]
+    fn members_of_poorer_coalitions_envy_the_richest() {
+        let live = [vo("a", &[0, 1], 2.0), vo("b", &[2], 9.0), vo("c", &[3, 4], 4.0)];
+        let v = violations(&live);
+        // Both members of a and both members of c envy b; b envies no one.
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|x| x.richer_app == "b"));
+        assert_eq!(v.iter().map(|x| x.gsp).collect::<Vec<_>>(), vec![0, 1, 3, 4]);
+        assert!(v.iter().all(|x| x.richer_share > x.held_share));
+    }
+
+    #[test]
+    fn near_equal_shares_within_tolerance_do_not_count() {
+        let live = [vo("a", &[0], 5.0), vo("b", &[1], 5.0 + 1e-12)];
+        assert!(violations(&live).is_empty());
+    }
+}

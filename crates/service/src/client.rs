@@ -90,7 +90,40 @@ impl ServiceClient {
         mechanism: MechanismKind,
         deadline_ms: Option<u64>,
     ) -> Result<Response, ClientError> {
-        self.request(&Request::Form { seed, mechanism, deadline_ms })
+        self.request(&Request::Form { seed, mechanism, deadline_ms, app: None })
+    }
+
+    /// Run a *market* formation on behalf of `app`: the server forms
+    /// over the free sub-pool and, when a VO is selected, commits it
+    /// as a lease (the response's `lease` / `lease_epoch` fields).
+    /// May answer `PoolExhausted`, `Throttled`, or `Busy` under
+    /// contention.
+    pub fn form_in_app(
+        &mut self,
+        app: &str,
+        seed: u64,
+        mechanism: MechanismKind,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        self.request(&Request::Form { seed, mechanism, deadline_ms, app: Some(app.to_string()) })
+    }
+
+    /// Release a lease (`abandon: false` means the VO completed);
+    /// returns the new registry epoch.
+    pub fn release_lease(&mut self, lease: u64, abandon: bool) -> Result<u64, ClientError> {
+        match self.request(&Request::Release { lease, abandon })? {
+            Response::Ack { epoch, .. } => Ok(epoch),
+            Response::Error { message } => Err(ClientError::Protocol(message)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Fetch the live lease table: `(leases, free GSP ids, epoch)`.
+    pub fn leases(&mut self) -> Result<(Vec<gridvo_market::Lease>, Vec<usize>, u64), ClientError> {
+        match self.request(&Request::Leases)? {
+            Response::Leases { leases, free, epoch } => Ok((leases, free, epoch)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
     }
 
     /// Run a batch of formations against one registry snapshot. The

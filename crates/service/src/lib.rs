@@ -52,6 +52,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod market;
 pub mod metrics;
 pub mod persist;
 pub mod protocol;
@@ -61,6 +62,7 @@ pub mod shard;
 
 pub use cache::SharedSolveCache;
 pub use client::{ClientError, ServiceClient};
+pub use gridvo_market::Lease;
 pub use metrics::MetricsSnapshot;
 pub use persist::{DurableRegistry, PersistConfig};
 pub use protocol::{MechanismKind, Request, Response};
@@ -78,6 +80,19 @@ pub enum ServiceError {
     },
     /// Removing this GSP would empty the pool.
     LastGsp,
+    /// The GSP is committed to a live VO and cannot be leased again
+    /// or removed until that lease is released.
+    Leased {
+        /// The contested GSP id.
+        id: usize,
+        /// The lease currently holding it.
+        lease: u64,
+    },
+    /// No live lease with this id.
+    UnknownLease {
+        /// The offending lease id.
+        lease: u64,
+    },
     /// A per-task column had the wrong length or a non-finite entry.
     BadColumn {
         /// What was malformed.
@@ -104,6 +119,10 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::UnknownGsp { id } => write!(f, "unknown GSP id {id}"),
             ServiceError::LastGsp => write!(f, "cannot remove the last GSP"),
+            ServiceError::Leased { id, lease } => {
+                write!(f, "GSP {id} is committed to live lease {lease}")
+            }
+            ServiceError::UnknownLease { lease } => write!(f, "unknown lease id {lease}"),
             ServiceError::BadColumn { context } => write!(f, "bad per-task column: {context}"),
             ServiceError::BadReceipt { context } => write!(f, "bad execution receipt: {context}"),
             ServiceError::Trust(e) => write!(f, "trust error: {e}"),

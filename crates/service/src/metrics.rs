@@ -109,12 +109,37 @@ struct Inner {
     queue_depth: usize,
     queue_wait: Histogram,
     service_time: Histogram,
+    leases_acquired: u64,
+    leases_released: u64,
+    leases_expired: u64,
+    pool_exhausted_rejections: u64,
+    throttled_rejections: u64,
+    app_depths: std::collections::BTreeMap<String, usize>,
 }
 
 /// Shared, thread-safe metrics registry (clones share storage).
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
     inner: Arc<Mutex<Inner>>,
+}
+
+/// One application's outstanding-request depth, for the snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppQueueDepth {
+    /// The application name (`form --app`).
+    pub app: String,
+    /// Requests queued or in flight for it right now.
+    pub depth: usize,
+}
+
+/// The market gauges the server passes into [`Metrics::snapshot`]
+/// (read from the current epoch snapshot, like the cache counters).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MarketGauges {
+    /// Distinct GSPs committed to a live lease right now.
+    pub committed_gsps: usize,
+    /// Live leases right now.
+    pub live_leases: usize,
 }
 
 /// What a `metrics` request returns.
@@ -158,6 +183,23 @@ pub struct MetricsSnapshot {
     pub queue_wait_ms: HistogramSnapshot,
     /// Time workers spent actually serving jobs.
     pub service_ms: HistogramSnapshot,
+    /// Leases acquired by market formations.
+    pub leases_acquired: u64,
+    /// Leases released by clients (complete or abandon).
+    pub leases_released: u64,
+    /// Leases released by the server because their TTL expired.
+    pub leases_expired: u64,
+    /// Market requests shed with `PoolExhausted`.
+    pub pool_exhausted_rejections: u64,
+    /// Requests shed with `Throttled` (per-client rate limit).
+    pub throttled_rejections: u64,
+    /// Distinct GSPs committed to a live lease right now (the
+    /// committed-GSP gauge).
+    pub committed_gsps: usize,
+    /// Live leases right now.
+    pub live_leases: usize,
+    /// Per-application outstanding-request depths, app-name order.
+    pub app_queue_depths: Vec<AppQueueDepth>,
 }
 
 impl Metrics {
@@ -178,8 +220,10 @@ impl Metrics {
                 "form" => m.form_requests += 1,
                 "form_batch" => m.batch_requests += 1,
                 "execute" => m.execute_requests += 1,
-                "add_gsp" | "remove_gsp" | "report_trust" => m.registry_mutations += 1,
-                "metrics" | "registry" => m.snapshot_requests += 1,
+                "add_gsp" | "remove_gsp" | "report_trust" | "report_receipt" | "release_lease" => {
+                    m.registry_mutations += 1
+                }
+                "metrics" | "registry" | "leases" => m.snapshot_requests += 1,
                 "ping" => m.ping_requests += 1,
                 _ => {}
             }
@@ -206,6 +250,45 @@ impl Metrics {
         self.with(|m| m.request_errors += 1);
     }
 
+    /// Count a lease acquired by a market formation.
+    pub fn lease_acquired(&self) {
+        self.with(|m| m.leases_acquired += 1);
+    }
+
+    /// Count a lease released (`expired` distinguishes a TTL sweep
+    /// from a client release).
+    pub fn lease_released(&self, expired: bool) {
+        self.with(|m| {
+            if expired {
+                m.leases_expired += 1;
+            } else {
+                m.leases_released += 1;
+            }
+        });
+    }
+
+    /// Count a market request shed with `PoolExhausted`.
+    pub fn pool_exhausted_shed(&self) {
+        self.with(|m| m.pool_exhausted_rejections += 1);
+    }
+
+    /// Count a request shed with `Throttled`.
+    pub fn throttled(&self) {
+        self.with(|m| m.throttled_rejections += 1);
+    }
+
+    /// Record one application's current outstanding-request depth
+    /// (dropping the entry when it reaches 0).
+    pub fn set_app_depth(&self, app: &str, depth: usize) {
+        self.with(|m| {
+            if depth == 0 {
+                m.app_depths.remove(app);
+            } else {
+                m.app_depths.insert(app.to_string(), depth);
+            }
+        });
+    }
+
     /// Record the current queue depth (after a push or pop).
     pub fn set_queue_depth(&self, depth: usize) {
         self.with(|m| m.queue_depth = depth);
@@ -221,8 +304,9 @@ impl Metrics {
         self.with(|m| m.service_time.record_ms(ms));
     }
 
-    /// Snapshot everything, merging in the solve cache's counters.
-    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+    /// Snapshot everything, merging in the solve cache's counters and
+    /// the market gauges.
+    pub fn snapshot(&self, cache: CacheStats, market: MarketGauges) -> MetricsSnapshot {
         self.with(|m| {
             let lookups = cache.hits + cache.misses;
             MetricsSnapshot {
@@ -244,6 +328,18 @@ impl Metrics {
                 cache_hit_rate: if lookups == 0 { 0.0 } else { cache.hits as f64 / lookups as f64 },
                 queue_wait_ms: m.queue_wait.snapshot(),
                 service_ms: m.service_time.snapshot(),
+                leases_acquired: m.leases_acquired,
+                leases_released: m.leases_released,
+                leases_expired: m.leases_expired,
+                pool_exhausted_rejections: m.pool_exhausted_rejections,
+                throttled_rejections: m.throttled_rejections,
+                committed_gsps: market.committed_gsps,
+                live_leases: market.live_leases,
+                app_queue_depths: m
+                    .app_depths
+                    .iter()
+                    .map(|(app, &depth)| AppQueueDepth { app: app.clone(), depth })
+                    .collect(),
             }
         })
     }
@@ -271,9 +367,18 @@ mod tests {
     #[test]
     fn counters_aggregate_by_op() {
         let m = Metrics::new();
-        for op in
-            ["form", "form", "form_batch", "execute", "report_trust", "metrics", "ping", "bogus"]
-        {
+        for op in [
+            "form",
+            "form",
+            "form_batch",
+            "execute",
+            "report_trust",
+            "release_lease",
+            "metrics",
+            "leases",
+            "ping",
+            "bogus",
+        ] {
             m.request_received(op);
         }
         m.busy_rejected();
@@ -281,13 +386,13 @@ mod tests {
         m.anytime_served();
         m.request_errored();
         m.set_queue_depth(4);
-        let s = m.snapshot(CacheStats { hits: 3, misses: 1, entries: 2 });
-        assert_eq!(s.requests_total, 8);
+        let s = m.snapshot(CacheStats { hits: 3, misses: 1, entries: 2 }, MarketGauges::default());
+        assert_eq!(s.requests_total, 10);
         assert_eq!(s.form_requests, 2);
         assert_eq!(s.batch_requests, 1);
         assert_eq!(s.execute_requests, 1);
-        assert_eq!(s.registry_mutations, 1);
-        assert_eq!(s.snapshot_requests, 1);
+        assert_eq!(s.registry_mutations, 2, "release_lease counts as a mutation");
+        assert_eq!(s.snapshot_requests, 2, "leases counts as a snapshot read");
         assert_eq!(s.ping_requests, 1);
         assert_eq!((s.busy_rejections, s.deadline_rejections, s.request_errors), (1, 1, 1));
         assert_eq!(s.anytime_served, 1);
@@ -296,12 +401,44 @@ mod tests {
     }
 
     #[test]
+    fn market_counters_and_app_depths() {
+        let m = Metrics::new();
+        m.lease_acquired();
+        m.lease_acquired();
+        m.lease_released(false);
+        m.lease_released(true);
+        m.pool_exhausted_shed();
+        m.throttled();
+        m.set_app_depth("beta", 2);
+        m.set_app_depth("atlas", 1);
+        m.set_app_depth("gone", 3);
+        m.set_app_depth("gone", 0); // dropped at depth 0
+        let s = m.snapshot(
+            CacheStats { hits: 0, misses: 0, entries: 0 },
+            MarketGauges { committed_gsps: 5, live_leases: 2 },
+        );
+        assert_eq!(s.leases_acquired, 2);
+        assert_eq!((s.leases_released, s.leases_expired), (1, 1));
+        assert_eq!(s.pool_exhausted_rejections, 1);
+        assert_eq!(s.throttled_rejections, 1);
+        assert_eq!((s.committed_gsps, s.live_leases), (5, 2));
+        let depths: Vec<(&str, usize)> =
+            s.app_queue_depths.iter().map(|d| (d.app.as_str(), d.depth)).collect();
+        assert_eq!(depths, vec![("atlas", 1), ("beta", 2)], "app-name order, zeros dropped");
+    }
+
+    #[test]
     fn snapshot_serde_round_trips() {
         let m = Metrics::new();
         m.request_received("form");
         m.record_queue_wait_ms(1.5);
         m.record_service_ms(12.0);
-        let s = m.snapshot(CacheStats { hits: 0, misses: 0, entries: 0 });
+        m.lease_acquired();
+        m.set_app_depth("atlas", 1);
+        let s = m.snapshot(
+            CacheStats { hits: 0, misses: 0, entries: 0 },
+            MarketGauges { committed_gsps: 3, live_leases: 1 },
+        );
         let json = serde_json::to_string(&s).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);

@@ -171,6 +171,20 @@ impl DurableRegistry {
         Ok(epoch)
     }
 
+    /// Journaled [`GspRegistry::acquire_lease`].
+    pub fn acquire_lease(&mut self, app: &str, members: &[usize]) -> Result<(u64, u64)> {
+        let out = self.registry.acquire_lease(app, members)?;
+        self.journal_last()?;
+        Ok(out)
+    }
+
+    /// Journaled [`GspRegistry::release_lease`].
+    pub fn release_lease(&mut self, lease: u64, reason: &str) -> Result<u64> {
+        let epoch = self.registry.release_lease(lease, reason)?;
+        self.journal_last()?;
+        Ok(epoch)
+    }
+
     /// Append the event the mutation just logged, then compact if the
     /// journal crossed the threshold.
     fn journal_last(&mut self) -> Result<()> {

@@ -62,6 +62,13 @@ pub enum Request {
         /// Per-request deadline override (ms); `None` uses the
         /// server's default.
         deadline_ms: Option<u64>,
+        /// Market mode: the requesting application's name. When set,
+        /// formation runs against the **free sub-pool** only (GSPs
+        /// held by no live lease), the winning coalition is leased to
+        /// this application, and admission applies the per-application
+        /// queue bound. `None` (the legacy wire form — the field is
+        /// omitted, not null) is the contention-blind path.
+        app: Option<String>,
     },
     /// Run Algorithm 1 once per seed, every seed against the *same*
     /// epoch snapshot and one cache handle. The response is a
@@ -118,6 +125,17 @@ pub enum Request {
         /// The receipt (digest must verify).
         receipt: ExecutionReceipt,
     },
+    /// Release a lease acquired by `form` with an `app`: the VO
+    /// completed (or was abandoned) and its GSPs return to the pool.
+    Release {
+        /// The lease id from the `form` response.
+        lease: u64,
+        /// True when the VO was abandoned rather than completed
+        /// (recorded in the journal's release reason).
+        abandon: bool,
+    },
+    /// Fetch the live leases and the free sub-pool.
+    Leases,
     /// Fetch the registry snapshot.
     Registry,
     /// Fetch the metrics snapshot.
@@ -142,6 +160,8 @@ impl Request {
             Request::RemoveGsp { .. } => "remove_gsp",
             Request::ReportTrust { .. } => "report_trust",
             Request::ReportReceipt { .. } => "report_receipt",
+            Request::Release { .. } => "release_lease",
+            Request::Leases => "leases",
             Request::Registry => "registry",
             Request::Metrics => "metrics",
             Request::Ping { .. } => "ping",
@@ -154,10 +174,15 @@ impl Serialize for Request {
         let mut fields: Vec<(String, Value)> =
             vec![("op".to_string(), Value::Str(self.op().to_string()))];
         match self {
-            Request::Form { seed, mechanism, deadline_ms } => {
+            Request::Form { seed, mechanism, deadline_ms, app } => {
                 fields.push(("seed".to_string(), seed.to_value()));
                 fields.push(("mechanism".to_string(), Value::Str(mechanism.as_str().to_string())));
                 fields.push(("deadline_ms".to_string(), deadline_ms.to_value()));
+                // Omitted (not null) when absent, so contention-blind
+                // requests stay byte-identical to the legacy wire form.
+                if app.is_some() {
+                    fields.push(("app".to_string(), app.to_value()));
+                }
             }
             Request::FormBatch { seeds, mechanism, deadline_ms } => {
                 fields.push(("seeds".to_string(), seeds.to_value()));
@@ -184,7 +209,11 @@ impl Serialize for Request {
             Request::ReportReceipt { receipt } => {
                 fields.push(("receipt".to_string(), receipt.to_value()));
             }
-            Request::Registry | Request::Metrics => {}
+            Request::Release { lease, abandon } => {
+                fields.push(("lease".to_string(), lease.to_value()));
+                fields.push(("abandon".to_string(), abandon.to_value()));
+            }
+            Request::Leases | Request::Registry | Request::Metrics => {}
             Request::Ping { sleep_ms } => {
                 fields.push(("sleep_ms".to_string(), sleep_ms.to_value()));
             }
@@ -208,6 +237,7 @@ impl Deserialize for Request {
                 seed: de_field(v, "seed")?,
                 mechanism: mechanism(v)?,
                 deadline_ms: de_field(v, "deadline_ms")?,
+                app: de_field(v, "app")?,
             }),
             "form_batch" => Ok(Request::FormBatch {
                 seeds: de_field(v, "seeds")?,
@@ -232,6 +262,11 @@ impl Deserialize for Request {
                 value: de_field(v, "value")?,
             }),
             "report_receipt" => Ok(Request::ReportReceipt { receipt: de_field(v, "receipt")? }),
+            "release_lease" => Ok(Request::Release {
+                lease: de_field(v, "lease")?,
+                abandon: de_field::<Option<bool>>(v, "abandon")?.unwrap_or(false),
+            }),
+            "leases" => Ok(Request::Leases),
             "registry" => Ok(Request::Registry),
             "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping { sleep_ms: de_field(v, "sleep_ms")? }),
@@ -256,6 +291,19 @@ pub enum Response {
         /// (`Some(0.0)` when proven optimal). `None` when nothing was
         /// selected, or on pre-gap wire lines.
         gap: Option<f64>,
+        /// Market mode only: the lease acquired on the selected
+        /// coalition. The three market fields are omitted from the
+        /// wire (not null) on contention-blind responses, keeping
+        /// legacy `form` lines byte-identical.
+        lease: Option<u64>,
+        /// Market mode only: the registry epoch the lease acquisition
+        /// produced.
+        lease_epoch: Option<u64>,
+        /// Market mode only: the epoch of the pinned snapshot the
+        /// formation was computed against (≤ `lease_epoch` − 1 when a
+        /// lease was acquired; recorded so a serial replay can
+        /// recompute this exact response).
+        formed_epoch: Option<u64>,
     },
     /// Formation + execution result (timings zeroed). `report` is
     /// `None` when no feasible VO existed to execute.
@@ -296,6 +344,25 @@ pub enum Response {
         /// The current counters.
         snapshot: MetricsSnapshot,
     },
+    /// Live leases and the free sub-pool.
+    Leases {
+        /// Live leases, in acquisition order.
+        leases: Vec<gridvo_market::Lease>,
+        /// Global ids of the uncommitted GSPs.
+        free: Vec<usize>,
+        /// Epoch of the snapshot that served this view.
+        epoch: u64,
+    },
+    /// Market admission shed: too few uncommitted GSPs remain for a
+    /// feasible formation (or every acquire attempt lost its race).
+    /// Retry after a lease releases.
+    PoolExhausted {
+        /// How many GSPs were free when the request was shed.
+        free: usize,
+    },
+    /// Per-client rate limit exceeded (`gridvo serve --rate-limit`).
+    /// Back off and retry.
+    Throttled,
     /// Reply to `Ping`.
     Pong,
     /// Load shed: the job queue was full. Retry later.
@@ -320,7 +387,32 @@ impl Response {
     pub fn form_from(outcome: FormationOutcome) -> Response {
         let truncated = Some(outcome.feasible_vos.iter().any(|v| !v.optimal));
         let gap = outcome.selected.as_ref().and_then(|v| v.gap);
-        Response::Form { outcome, truncated, gap }
+        Response::Form {
+            outcome,
+            truncated,
+            gap,
+            lease: None,
+            lease_epoch: None,
+            formed_epoch: None,
+        }
+    }
+
+    /// Wrap a market formation outcome: [`Response::form_from`] plus
+    /// the lease fields. `leased` is `(lease id, acquire epoch)` when
+    /// a coalition was committed, `None` for an uncontended
+    /// infeasible result.
+    pub fn market_form_from(
+        outcome: FormationOutcome,
+        leased: Option<(u64, u64)>,
+        formed_epoch: u64,
+    ) -> Response {
+        let mut response = Response::form_from(outcome);
+        if let Response::Form { lease, lease_epoch, formed_epoch: fe, .. } = &mut response {
+            *lease = leased.map(|(id, _)| id);
+            *lease_epoch = leased.map(|(_, epoch)| epoch);
+            *fe = Some(formed_epoch);
+        }
+        response
     }
 
     /// The response's `"kind"` tag.
@@ -332,6 +424,9 @@ impl Response {
             Response::BatchEnd { .. } => "batch_end",
             Response::Registry { .. } => "registry",
             Response::Metrics { .. } => "metrics",
+            Response::Leases { .. } => "leases",
+            Response::PoolExhausted { .. } => "pool_exhausted",
+            Response::Throttled => "throttled",
             Response::Pong => "pong",
             Response::Busy => "busy",
             Response::DeadlineExceeded => "deadline_exceeded",
@@ -345,10 +440,22 @@ impl Serialize for Response {
         let mut fields: Vec<(String, Value)> =
             vec![("kind".to_string(), Value::Str(self.kind().to_string()))];
         match self {
-            Response::Form { outcome, truncated, gap } => {
+            Response::Form { outcome, truncated, gap, lease, lease_epoch, formed_epoch } => {
                 fields.push(("outcome".to_string(), outcome.to_value()));
                 fields.push(("truncated".to_string(), truncated.to_value()));
                 fields.push(("gap".to_string(), gap.to_value()));
+                // Market fields are omitted (not null) on
+                // contention-blind responses — legacy lines keep
+                // their exact bytes.
+                if lease.is_some() {
+                    fields.push(("lease".to_string(), lease.to_value()));
+                }
+                if lease_epoch.is_some() {
+                    fields.push(("lease_epoch".to_string(), lease_epoch.to_value()));
+                }
+                if formed_epoch.is_some() {
+                    fields.push(("formed_epoch".to_string(), formed_epoch.to_value()));
+                }
             }
             Response::Execute { outcome, report } => {
                 fields.push(("outcome".to_string(), outcome.to_value()));
@@ -369,7 +476,15 @@ impl Serialize for Response {
             Response::Metrics { snapshot } => {
                 fields.push(("snapshot".to_string(), snapshot.to_value()));
             }
-            Response::Pong | Response::Busy | Response::DeadlineExceeded => {}
+            Response::Leases { leases, free, epoch } => {
+                fields.push(("leases".to_string(), leases.to_value()));
+                fields.push(("free".to_string(), free.to_value()));
+                fields.push(("epoch".to_string(), epoch.to_value()));
+            }
+            Response::PoolExhausted { free } => {
+                fields.push(("free".to_string(), free.to_value()));
+            }
+            Response::Pong | Response::Busy | Response::DeadlineExceeded | Response::Throttled => {}
             Response::Error { message } => {
                 fields.push(("message".to_string(), Value::Str(message.clone())));
             }
@@ -386,6 +501,9 @@ impl Deserialize for Response {
                 outcome: de_field(v, "outcome")?,
                 truncated: de_field(v, "truncated")?,
                 gap: de_field(v, "gap")?,
+                lease: de_field(v, "lease")?,
+                lease_epoch: de_field(v, "lease_epoch")?,
+                formed_epoch: de_field(v, "formed_epoch")?,
             }),
             "execute" => Ok(Response::Execute {
                 outcome: de_field(v, "outcome")?,
@@ -401,6 +519,13 @@ impl Deserialize for Response {
                 epoch: de_field(v, "epoch")?,
             }),
             "metrics" => Ok(Response::Metrics { snapshot: de_field(v, "snapshot")? }),
+            "leases" => Ok(Response::Leases {
+                leases: de_field(v, "leases")?,
+                free: de_field(v, "free")?,
+                epoch: de_field(v, "epoch")?,
+            }),
+            "pool_exhausted" => Ok(Response::PoolExhausted { free: de_field(v, "free")? }),
+            "throttled" => Ok(Response::Throttled),
             "pong" => Ok(Response::Pong),
             "busy" => Ok(Response::Busy),
             "deadline_exceeded" => Ok(Response::DeadlineExceeded),
@@ -429,7 +554,20 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let reqs = vec![
-            Request::Form { seed: 7, mechanism: MechanismKind::Rvof, deadline_ms: Some(250) },
+            Request::Form {
+                seed: 7,
+                mechanism: MechanismKind::Rvof,
+                deadline_ms: Some(250),
+                app: None,
+            },
+            Request::Form {
+                seed: 7,
+                mechanism: MechanismKind::Tvof,
+                deadline_ms: None,
+                app: Some("atlas".to_string()),
+            },
+            Request::Release { lease: 12, abandon: true },
+            Request::Leases,
             Request::FormBatch {
                 seeds: vec![3, 1, 4, 1, 5],
                 mechanism: MechanismKind::Tvof,
@@ -468,8 +606,25 @@ mod tests {
         let req: Request = decode(r#"{"op":"form","seed":3}"#).unwrap();
         assert_eq!(
             req,
-            Request::Form { seed: 3, mechanism: MechanismKind::Tvof, deadline_ms: None }
+            Request::Form { seed: 3, mechanism: MechanismKind::Tvof, deadline_ms: None, app: None }
         );
+    }
+
+    #[test]
+    fn appless_form_omits_the_app_field() {
+        let line = encode(&Request::Form {
+            seed: 3,
+            mechanism: MechanismKind::Tvof,
+            deadline_ms: None,
+            app: None,
+        });
+        assert!(!line.contains("app"), "legacy requests must keep their exact bytes: {line}");
+    }
+
+    #[test]
+    fn release_defaults_abandon_to_false() {
+        let req: Request = decode(r#"{"op":"release_lease","lease":4}"#).unwrap();
+        assert_eq!(req, Request::Release { lease: 4, abandon: false });
     }
 
     #[test]
@@ -489,6 +644,18 @@ mod tests {
             Response::Error { message: "queue exploded".to_string() },
             Response::Ack { epoch: 4, id: Some(2) },
             Response::BatchEnd { epoch: 17, served: 5 },
+            Response::Throttled,
+            Response::PoolExhausted { free: 2 },
+            Response::Leases {
+                leases: vec![gridvo_market::Lease {
+                    id: 3,
+                    app: "atlas".to_string(),
+                    members: vec![1, 4],
+                    acquired_epoch: 9,
+                }],
+                free: vec![0, 2, 3],
+                epoch: 11,
+            },
         ] {
             let back: Response = decode(&encode(&resp)).unwrap();
             assert_eq!(resp, back);

@@ -19,6 +19,7 @@
 
 use gridvo_core::reputation::ReputationEngine;
 use gridvo_core::{ExecutionReceipt, FormationScenario, Gsp};
+use gridvo_market::{Lease, LeaseError, LeaseTable};
 use gridvo_solver::AssignmentInstance;
 use gridvo_trust::beta::{BetaLedger, DEFAULT_LAMBDA};
 use gridvo_trust::TrustGraph;
@@ -37,8 +38,8 @@ use crate::{Result, ServiceError};
 pub struct RegistryEvent {
     /// Epoch the mutation produced (the first mutation is epoch 1).
     pub epoch: u64,
-    /// Operation name: `"add_gsp"`, `"remove_gsp"`, `"report_trust"`
-    /// or `"report_receipt"`.
+    /// Operation name: `"add_gsp"`, `"remove_gsp"`, `"report_trust"`,
+    /// `"report_receipt"`, `"acquire_lease"` or `"release_lease"`.
     pub op: String,
     /// The GSP the operation targeted (the new id for additions, the
     /// removed id for removals, the *reporting* GSP for trust reports).
@@ -57,6 +58,17 @@ pub struct RegistryEvent {
     /// Absent from journals written before receipts existed — those
     /// still deserialize (missing `Option` fields parse as `None`).
     pub receipt: Option<ExecutionReceipt>,
+    /// The application acquiring a lease, for `acquire_lease` events.
+    /// Like `receipt`, absent from pre-market journals — all four
+    /// market fields parse as `None` on legacy lines.
+    pub app: Option<String>,
+    /// The lease id assigned (acquire) or released (release).
+    pub lease: Option<u64>,
+    /// The leased coalition's global GSP ids, for `acquire_lease`.
+    pub members: Option<Vec<usize>>,
+    /// Why the lease ended (`"complete"`, `"abandon"` or `"expired"`),
+    /// for `release_lease` events.
+    pub reason: Option<String>,
 }
 
 impl RegistryEvent {
@@ -78,6 +90,10 @@ impl RegistryEvent {
             cost: None,
             time: None,
             receipt: None,
+            app: None,
+            lease: None,
+            members: None,
+            reason: None,
         }
     }
 }
@@ -115,6 +131,10 @@ pub struct PersistedState {
     /// reported. Absent from snapshots written before receipts
     /// existed — those still deserialize with no ledger.
     pub beta: Option<BetaLedger>,
+    /// Live GSP leases, once any lease has been acquired. Absent
+    /// from pre-market snapshots (and from market-idle registries),
+    /// which deserialize with a pristine table.
+    pub market: Option<LeaseTable>,
 }
 
 impl gridvo_store::Stamped for PersistedState {
@@ -164,6 +184,9 @@ pub struct GspRegistry {
     /// so a receipt-free registry stays bit-identical to the
     /// pre-receipt behavior (declared trust only).
     beta: Option<BetaLedger>,
+    /// Live GSP leases: which providers are committed to an executing
+    /// VO and therefore out of the market's candidate pool.
+    market: LeaseTable,
 }
 
 impl GspRegistry {
@@ -194,6 +217,7 @@ impl GspRegistry {
         reg.reputation = state.reputation.clone();
         reg.power_iterations = state.power_iterations;
         reg.beta = state.beta.clone();
+        reg.market = state.market.clone().unwrap_or_default();
         Ok(reg)
     }
 
@@ -222,6 +246,7 @@ impl GspRegistry {
             reputation: Vec::new(),
             power_iterations: 0,
             beta: None,
+            market: LeaseTable::new(),
         }
     }
 
@@ -235,6 +260,7 @@ impl GspRegistry {
             power_iterations: self.power_iterations,
             events: self.events.clone(),
             beta: self.beta.clone(),
+            market: if self.market.is_pristine() { None } else { Some(self.market.clone()) },
         })
     }
 
@@ -295,6 +321,35 @@ impl GspRegistry {
                     ))
                 })?;
                 self.report_receipt(receipt)
+            }
+            "acquire_lease" => {
+                let (app, members) = match (&event.app, &event.members) {
+                    (Some(a), Some(m)) => (a, m),
+                    _ => {
+                        return Err(ServiceError::Storage(format!(
+                            "acquire_lease event at epoch {} lacks its payload",
+                            event.epoch
+                        )))
+                    }
+                };
+                let (lease, epoch) = self.acquire_lease(app, members)?;
+                if event.lease.is_some_and(|recorded| recorded != lease) {
+                    return Err(ServiceError::Storage(format!(
+                        "acquire_lease replay at epoch {} assigned lease {} but the journal \
+                         recorded {:?} — the journal does not match this state",
+                        event.epoch, lease, event.lease
+                    )));
+                }
+                Ok(epoch)
+            }
+            "release_lease" => {
+                let lease = event.lease.ok_or_else(|| {
+                    ServiceError::Storage(format!(
+                        "release_lease event at epoch {} lacks a lease id",
+                        event.epoch
+                    ))
+                })?;
+                self.release_lease(lease, event.reason.as_deref().unwrap_or("complete"))
             }
             other => {
                 return Err(ServiceError::Storage(format!(
@@ -380,6 +435,10 @@ impl GspRegistry {
             cost: Some(cost.to_vec()),
             time: Some(time.to_vec()),
             receipt: None,
+            app: None,
+            lease: None,
+            members: None,
+            reason: None,
         });
         // The warm start no longer matches the pool size; the refresh
         // falls back to a cold solve for this one recompute.
@@ -397,6 +456,9 @@ impl GspRegistry {
         }
         if self.gsps.len() == 1 {
             return Err(ServiceError::LastGsp);
+        }
+        if let Some(held) = self.market.holder_of(id) {
+            return Err(ServiceError::Leased { id, lease: held.id });
         }
         let m = self.gsps.len();
         let (trust, survivors) = self.trust.remove_node(id)?;
@@ -423,6 +485,7 @@ impl GspRegistry {
         for (k, g) in self.gsps.iter_mut().enumerate() {
             g.id = k;
         }
+        self.market.shift_down(id);
         self.epoch += 1;
         self.events.push(RegistryEvent::slim(self.epoch, "remove_gsp", Some(id), None, None));
         self.refresh_reputation()?;
@@ -480,6 +543,67 @@ impl GspRegistry {
         self.events.push(event);
         self.refresh_reputation()?;
         Ok(self.epoch)
+    }
+
+    /// Commit `members` to a live VO held by `app`: the market's
+    /// lease-acquire mutation. Validates that every member exists and
+    /// that none is already committed to another live VO — the
+    /// no-double-lease invariant every acked history must satisfy.
+    /// Reputation is untouched (a lease changes availability, not
+    /// trust). Returns `(lease id, new epoch)`.
+    pub fn acquire_lease(&mut self, app: &str, members: &[usize]) -> Result<(u64, u64)> {
+        if let Some(&id) = members.iter().find(|&&id| id >= self.gsps.len()) {
+            return Err(ServiceError::UnknownGsp { id });
+        }
+        let lease = match self.market.acquire(app, members, self.epoch + 1) {
+            Ok(lease) => lease,
+            Err(LeaseError::Empty) => {
+                return Err(ServiceError::BadColumn { context: "cannot lease an empty coalition" })
+            }
+            Err(LeaseError::Held { gsp, lease }) => {
+                return Err(ServiceError::Leased { id: gsp, lease })
+            }
+        };
+        self.epoch += 1;
+        let mut event = RegistryEvent::slim(self.epoch, "acquire_lease", None, None, None);
+        event.app = Some(app.to_string());
+        event.lease = Some(lease);
+        event.members = Some(
+            self.market.leases().last().map_or_else(|| members.to_vec(), |l| l.members.clone()),
+        );
+        self.events.push(event);
+        Ok((lease, self.epoch))
+    }
+
+    /// Release lease `lease` (the VO completed, was abandoned, or its
+    /// TTL expired — `reason` records which); its members return to
+    /// the candidate pool. Returns the new epoch.
+    pub fn release_lease(&mut self, lease: u64, reason: &str) -> Result<u64> {
+        if self.market.release(lease).is_none() {
+            return Err(ServiceError::UnknownLease { lease });
+        }
+        self.epoch += 1;
+        let mut event = RegistryEvent::slim(self.epoch, "release_lease", None, None, None);
+        event.lease = Some(lease);
+        event.reason = Some(reason.to_string());
+        self.events.push(event);
+        Ok(self.epoch)
+    }
+
+    /// The live lease table.
+    pub fn market(&self) -> &LeaseTable {
+        &self.market
+    }
+
+    /// Global ids of the GSPs held by no live lease — the sub-pool
+    /// market-aware formation runs against.
+    pub fn free_members(&self) -> Vec<usize> {
+        self.market.free_members(self.gsps.len())
+    }
+
+    /// Live leases, in acquisition order.
+    pub fn leases(&self) -> &[Lease] {
+        self.market.leases()
     }
 
     /// The trust graph requests actually see: declared edges, with
@@ -689,6 +813,89 @@ mod tests {
         let unknown = RegistryEvent::slim(1, "fly", None, None, None);
         assert!(matches!(reg.apply_event(&unknown), Err(ServiceError::Storage(_))));
         assert_eq!(reg.epoch(), 0, "failed replays must not mutate the registry");
+    }
+
+    #[test]
+    fn lease_lifecycle_bumps_epochs_and_logs() {
+        let mut reg = registry();
+        let rep = reg.reputation().to_vec();
+        let (lease, epoch) = reg.acquire_lease("alice", &[2, 0]).unwrap();
+        assert_eq!((lease, epoch), (1, 1));
+        assert_eq!(reg.free_members(), vec![1]);
+        assert_eq!(reg.events()[0].op, "acquire_lease");
+        assert_eq!(reg.events()[0].members, Some(vec![0, 2]));
+        assert_eq!(reg.reputation(), rep, "leases must not touch reputation");
+        // The contested member is refused with a typed error.
+        assert!(matches!(
+            reg.acquire_lease("bob", &[0]),
+            Err(ServiceError::Leased { id: 0, lease: 1 })
+        ));
+        assert!(matches!(reg.acquire_lease("bob", &[9]), Err(ServiceError::UnknownGsp { id: 9 })));
+        // A leased GSP cannot leave the pool.
+        assert!(matches!(reg.remove_gsp(2), Err(ServiceError::Leased { id: 2, lease: 1 })));
+        let epoch = reg.release_lease(lease, "complete").unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(reg.free_members(), vec![0, 1, 2]);
+        assert!(matches!(
+            reg.release_lease(lease, "complete"),
+            Err(ServiceError::UnknownLease { lease: 1 })
+        ));
+        assert_eq!(reg.epoch(), 2, "failed mutations must not bump the epoch");
+    }
+
+    #[test]
+    fn remove_gsp_renumbers_live_leases() {
+        let mut reg = registry();
+        reg.acquire_lease("alice", &[2]).unwrap();
+        reg.remove_gsp(0).unwrap();
+        // Old GSP 2 is now id 1 and still held by the lease.
+        assert_eq!(reg.leases()[0].members, vec![1]);
+        assert_eq!(reg.free_members(), vec![0]);
+    }
+
+    #[test]
+    fn lease_events_replay_and_persist() {
+        let mut reg = registry();
+        let mut replayed = registry();
+        reg.acquire_lease("alice", &[0, 1]).unwrap();
+        reg.report_trust(0, 2, 0.9).unwrap();
+        let (b, _) = reg.acquire_lease("bob", &[2]).unwrap();
+        reg.release_lease(b, "abandon").unwrap();
+        for ev in reg.events().to_vec() {
+            replayed.apply_event(&ev).unwrap();
+            replayed.apply_event(&ev).unwrap();
+        }
+        assert_eq!(replayed.market(), reg.market());
+        assert_eq!(replayed.free_members(), vec![2]);
+        // Snapshot round trip carries the table (including next_id, so
+        // post-recovery acquires keep matching the uninterrupted run).
+        let json = serde_json::to_string(&reg.persisted_state().unwrap()).unwrap();
+        let back: PersistedState = serde_json::from_str(&json).unwrap();
+        let mut rebuilt = GspRegistry::from_persisted(&back, ReputationEngine::default()).unwrap();
+        assert_eq!(rebuilt.market(), reg.market());
+        assert_eq!(rebuilt.acquire_lease("carol", &[2]).unwrap().0, 3);
+    }
+
+    #[test]
+    fn lease_replay_detects_id_divergence() {
+        let mut reg = registry();
+        let mut event = RegistryEvent::slim(1, "acquire_lease", None, None, None);
+        event.app = Some("alice".to_string());
+        event.members = Some(vec![0]);
+        event.lease = Some(7); // a fresh table would assign 1
+        assert!(matches!(reg.apply_event(&event), Err(ServiceError::Storage(_))));
+    }
+
+    #[test]
+    fn pristine_market_is_absent_from_snapshots() {
+        let reg = registry();
+        assert!(reg.persisted_state().unwrap().market.is_none());
+        // Legacy snapshot JSON (no market field) still deserializes.
+        let json = serde_json::to_string(&reg.persisted_state().unwrap()).unwrap();
+        let legacy = json.replace(",\"market\":null", "");
+        assert_ne!(legacy, json, "the pristine table serializes as an explicit null");
+        let back: PersistedState = serde_json::from_str(&legacy).unwrap();
+        assert!(GspRegistry::from_persisted(&back, ReputationEngine::default()).is_ok());
     }
 
     #[test]

@@ -47,6 +47,21 @@
 //! instead of holding the worker hostage. `deadline_ms` is therefore
 //! a bound on *service time*, not just queue wait, up to one solver
 //! bound-check interval plus non-solver overhead.
+//!
+//! ## Market admission
+//!
+//! `form --app` requests contend for the shared pool (see
+//! [`crate::market`]). Three more gates apply before such a request is
+//! queued: a per-connection token bucket (when
+//! [`ServerConfig::rate_limit`] is set) answers [`Response::Throttled`],
+//! a free-pool floor ([`ServerConfig::min_free`]) sheds with
+//! [`Response::PoolExhausted`] when too few uncommitted GSPs remain,
+//! and a per-application depth bound
+//! ([`ServerConfig::app_queue_capacity`]) answers `Busy` so one
+//! application cannot monopolize the worker pool. Lease TTLs
+//! ([`ServerConfig::lease_ttl_ms`]) are wall-clock state held *outside*
+//! the registry: expiry is journaled as an ordinary release event
+//! (reason `"expired"`), so replay stays deterministic.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
@@ -58,11 +73,13 @@ use std::time::{Duration, Instant};
 
 use gridvo_core::mechanism::{FormationConfig, Mechanism};
 use gridvo_core::{FaultPlan, FormationScenario};
+use gridvo_market::{AppQueues, TokenBucket};
 use gridvo_solver::Budget;
 use rand::SeedableRng;
 
 use crate::cache::SharedSolveCache;
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::market::{free_scenario, MarketCache};
+use crate::metrics::{MarketGauges, Metrics, MetricsSnapshot};
 use crate::persist::PersistConfig;
 use crate::protocol::{decode, encode, MechanismKind, Request, Response};
 use crate::shard::{EpochSnapshot, ShardedRegistry, Touched, DEFAULT_SHARDS};
@@ -86,6 +103,19 @@ pub struct ServerConfig {
     /// default) keeps the registry purely in memory, exactly the
     /// pre-durability behavior.
     pub persistence: Option<PersistConfig>,
+    /// Per-connection request rate limit (requests/second, burst =
+    /// `rate.max(1)`); `None` disables throttling.
+    pub rate_limit: Option<f64>,
+    /// Outstanding market (`form --app`) requests allowed per
+    /// application before the app is answered `Busy`; clamped ≥ 1.
+    pub app_queue_capacity: usize,
+    /// A market form is shed with `PoolExhausted` when fewer than this
+    /// many GSPs are uncommitted; clamped ≥ 1.
+    pub min_free: usize,
+    /// Lease time-to-live in ms; 0 disables expiry. Expiry is swept
+    /// lazily before market-facing requests and journaled as a normal
+    /// release (reason `"expired"`).
+    pub lease_ttl_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +128,10 @@ impl Default for ServerConfig {
             default_deadline_ms: 0,
             shards: DEFAULT_SHARDS,
             persistence: None,
+            rate_limit: None,
+            app_queue_capacity: 16,
+            min_free: 1,
+            lease_ttl_ms: 0,
         }
     }
 }
@@ -110,6 +144,9 @@ struct Job {
     request: Request,
     enqueued: Instant,
     deadline: Option<Duration>,
+    /// Market requests hold a per-application queue slot from
+    /// admission until the worker finishes (or sheds) them.
+    app: Option<String>,
     reply: mpsc::Sender<Response>,
 }
 
@@ -122,12 +159,24 @@ struct Shared {
     queue_cv: Condvar,
     queue_capacity: usize,
     default_deadline: Option<Duration>,
+    app_queues: Mutex<AppQueues>,
+    min_free: usize,
+    rate_limit: Option<f64>,
+    lease_ttl: Option<Duration>,
+    /// TTL sidecar: `(lease id, expires at)`. Wall-clock never enters
+    /// registry state — expiry is journaled as a release event.
+    lease_clock: Mutex<Vec<(u64, Instant)>>,
     shutdown: AtomicBool,
 }
 
 impl Shared {
     fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.cache.stats())
+        let snapshot = self.registry.snapshot();
+        let committed: std::collections::BTreeSet<usize> =
+            snapshot.leases.iter().flat_map(|l| l.members.iter().copied()).collect();
+        let gauges =
+            MarketGauges { committed_gsps: committed.len(), live_leases: snapshot.leases.len() };
+        self.metrics.snapshot(self.cache.stats(), gauges)
     }
 }
 
@@ -169,6 +218,14 @@ impl ServerHandle {
                 0 => None,
                 ms => Some(Duration::from_millis(ms)),
             },
+            app_queues: Mutex::new(AppQueues::new(config.app_queue_capacity.max(1))),
+            min_free: config.min_free.max(1),
+            rate_limit: config.rate_limit.filter(|r| *r > 0.0),
+            lease_ttl: match config.lease_ttl_ms {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            },
+            lease_clock: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
         });
 
@@ -285,6 +342,8 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     };
     let mut reader = BufReader::new(stream);
     let mut buf: Vec<u8> = Vec::new();
+    // One bucket per connection: each client pays for its own burst.
+    let mut bucket = shared.rate_limit.map(|rate| TokenBucket::new(rate, rate.max(1.0)));
     loop {
         // Raw bytes, not `read_line`: a client feeding us non-UTF-8
         // garbage deserves a typed error, not a dropped connection.
@@ -320,7 +379,13 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             Ok(text) => match decode::<Request>(text.trim()) {
                 Ok(request) => {
                     shared.metrics.request_received(request.op());
-                    dispatch(request, shared)
+                    let throttled = bucket.as_mut().is_some_and(|b| !b.allow(Instant::now()));
+                    if throttled {
+                        shared.metrics.throttled();
+                        Dispatched::one(Response::Throttled)
+                    } else {
+                        dispatch(request, shared)
+                    }
                 }
                 Err(e) => {
                     shared.metrics.request_errored();
@@ -431,11 +496,87 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> Dispatched {
         Request::Metrics => {
             Dispatched::one(Response::Metrics { snapshot: shared.metrics_snapshot() })
         }
+        Request::Release { lease, abandon } => {
+            sweep_expired(shared);
+            let reason = if abandon { "abandon" } else { "complete" };
+            Dispatched::one(
+                match shared.registry.mutate(Touched::All, |reg| reg.release_lease(lease, reason)) {
+                    Ok(epoch) => {
+                        shared.metrics.lease_released(false);
+                        if shared.lease_ttl.is_some() {
+                            let mut clock =
+                                shared.lease_clock.lock().expect("lease clock poisoned");
+                            clock.retain(|(id, _)| *id != lease);
+                        }
+                        Response::Ack { epoch, id: None }
+                    }
+                    Err(e) => error_response(shared, e.to_string()),
+                },
+            )
+        }
+        Request::Leases => {
+            sweep_expired(shared);
+            let snapshot = shared.registry.snapshot();
+            Dispatched::one(Response::Leases {
+                leases: snapshot.leases.clone(),
+                free: snapshot.free.clone(),
+                epoch: snapshot.epoch,
+            })
+        }
+        Request::Form { app: Some(app), seed, mechanism, deadline_ms } => {
+            // Market admission, cheapest gate first: shed while the
+            // pool is exhausted, then claim a per-application slot
+            // (held until the worker finishes the job).
+            sweep_expired(shared);
+            let free = shared.registry.snapshot().free.len();
+            if free < shared.min_free {
+                shared.metrics.pool_exhausted_shed();
+                return Dispatched::one(Response::PoolExhausted { free });
+            }
+            {
+                let mut queues = shared.app_queues.lock().expect("app queues poisoned");
+                if !queues.try_enter(&app) {
+                    shared.metrics.busy_rejected();
+                    return Dispatched::one(Response::Busy);
+                }
+                shared.metrics.set_app_depth(&app, queues.depth(&app));
+            }
+            enqueue(Request::Form { app: Some(app), seed, mechanism, deadline_ms }, shared)
+        }
         queued @ (Request::Form { .. }
         | Request::FormBatch { .. }
         | Request::Execute { .. }
         | Request::Ping { .. }) => enqueue(queued, shared),
     }
+}
+
+/// Journal releases for every lease whose TTL has lapsed. Runs lazily
+/// before market-facing requests; a lease the client already released
+/// is simply gone from the table (`UnknownLease`), which is fine.
+fn sweep_expired(shared: &Arc<Shared>) {
+    if shared.lease_ttl.is_none() {
+        return;
+    }
+    let now = Instant::now();
+    let due: Vec<u64> = {
+        let mut clock = shared.lease_clock.lock().expect("lease clock poisoned");
+        let due = clock.iter().filter(|(_, at)| *at <= now).map(|(id, _)| *id).collect();
+        clock.retain(|(_, at)| *at > now);
+        due
+    };
+    for lease in due {
+        if shared.registry.mutate(Touched::All, |reg| reg.release_lease(lease, "expired")).is_ok() {
+            shared.metrics.lease_released(true);
+        }
+    }
+}
+
+/// Release a job's per-application queue slot, if it held one.
+fn leave_app(shared: &Arc<Shared>, app: Option<&str>) {
+    let Some(app) = app else { return };
+    let mut queues = shared.app_queues.lock().expect("app queues poisoned");
+    queues.leave(app);
+    shared.metrics.set_app_depth(app, queues.depth(app));
 }
 
 fn error_response(shared: &Arc<Shared>, message: String) -> Response {
@@ -452,14 +593,21 @@ fn enqueue(request: Request, shared: &Arc<Shared>) -> Dispatched {
         }
         _ => shared.default_deadline,
     };
+    let app = match &request {
+        Request::Form { app, .. } => app.clone(),
+        _ => None,
+    };
     let (tx, rx) = mpsc::channel();
     {
         let mut queue = shared.queue.lock().expect("queue lock poisoned");
         if queue.len() >= shared.queue_capacity {
+            // A market form already holds its app slot; give it back.
+            drop(queue);
+            leave_app(shared, app.as_deref());
             shared.metrics.busy_rejected();
             return Dispatched::one(Response::Busy);
         }
-        queue.push_back(Job { request, enqueued: Instant::now(), deadline, reply: tx });
+        queue.push_back(Job { request, enqueued: Instant::now(), deadline, app, reply: tx });
         shared.metrics.set_queue_depth(queue.len());
     }
     shared.queue_cv.notify_one();
@@ -495,12 +643,14 @@ fn worker_loop(shared: &Arc<Shared>) {
             if Instant::now() >= at {
                 shared.metrics.deadline_rejected();
                 let _ = job.reply.send(Response::DeadlineExceeded);
+                leave_app(shared, job.app.as_deref());
                 continue;
             }
         }
         let served_at = Instant::now();
         serve(job.request, shared, &job.reply, deadline_at);
         shared.metrics.record_service_ms(served_at.elapsed().as_secs_f64() * 1e3);
+        leave_app(shared, job.app.as_deref());
         // `job.reply` drops here, closing the connection's stream.
     }
 }
@@ -521,11 +671,16 @@ fn serve(
             std::thread::sleep(Duration::from_millis(sleep_ms));
             let _ = reply.send(Response::Pong);
         }
-        Request::Form { seed, mechanism, .. } => {
-            let snapshot = shared.registry.snapshot();
-            let response = match run_formation(shared, &snapshot, seed, mechanism, &budget) {
-                Ok(outcome) => form_response(shared, outcome),
-                Err(message) => error_response(shared, message),
+        Request::Form { seed, mechanism, app, .. } => {
+            let response = match app {
+                Some(app) => market_form(shared, &app, seed, mechanism, &budget),
+                None => {
+                    let snapshot = shared.registry.snapshot();
+                    match run_formation(shared, &snapshot, seed, mechanism, &budget) {
+                        Ok(outcome) => form_response(shared, outcome),
+                        Err(message) => error_response(shared, message),
+                    }
+                }
             };
             let _ = reply.send(response);
         }
@@ -576,6 +731,98 @@ fn form_response(shared: &Arc<Shared>, outcome: gridvo_core::FormationOutcome) -
         shared.metrics.anytime_served();
     }
     response
+}
+
+/// Like [`form_response`], carrying the market fields.
+fn market_form_response(
+    shared: &Arc<Shared>,
+    outcome: gridvo_core::FormationOutcome,
+    leased: Option<(u64, u64)>,
+    formed_epoch: u64,
+) -> Response {
+    let response = Response::market_form_from(outcome, leased, formed_epoch);
+    if matches!(response, Response::Form { truncated: Some(true), .. }) {
+        shared.metrics.anytime_served();
+    }
+    response
+}
+
+/// One market formation: pin a snapshot, form over its free sub-pool,
+/// and commit the winning coalition as a lease. A commit that loses a
+/// race (another VO leased an overlapping coalition between the pin
+/// and the write) retries against a fresher snapshot; after a few
+/// spins the pool is genuinely contended and the request sheds.
+fn market_form(
+    shared: &Arc<Shared>,
+    app: &str,
+    seed: u64,
+    kind: MechanismKind,
+    budget: &Budget,
+) -> Response {
+    let mut free_len = 0;
+    for _attempt in 0..3 {
+        let snapshot = shared.registry.snapshot();
+        let free = snapshot.free.clone();
+        free_len = free.len();
+        if free_len < shared.min_free {
+            break;
+        }
+        let contended = free_len < snapshot.scenario.gsp_count();
+        let sub;
+        let scenario: &FormationScenario = if contended {
+            match free_scenario(&snapshot.scenario, &free) {
+                Some(s) => {
+                    sub = s;
+                    &sub
+                }
+                // The leftover sub-pool cannot host the program.
+                None => break,
+            }
+        } else {
+            &snapshot.scenario
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Idle market (digest 0) shares cache entries with plain
+        // `form`; any committed set salts the keys (see crate::market).
+        let mut cache =
+            MarketCache::new(shared.cache.at_epoch(snapshot.epoch), snapshot.free_digest, &free);
+        let mut outcome = match mechanism_for(kind)
+            .run_cached_with_budget(scenario, &mut rng, &mut cache, budget)
+        {
+            Ok(o) => o,
+            Err(e) => return error_response(shared, e.to_string()),
+        };
+        outcome.zero_timings();
+        if contended {
+            outcome.map_members(&free);
+        }
+        let members = match &outcome.selected {
+            Some(vo) => vo.members.clone(),
+            None => {
+                if contended {
+                    // The full pool could host a VO; the leftovers
+                    // can't. That is contention, not infeasibility.
+                    break;
+                }
+                return market_form_response(shared, outcome, None, snapshot.epoch);
+            }
+        };
+        match shared.registry.mutate(Touched::Ids(&members), |reg| reg.acquire_lease(app, &members))
+        {
+            Ok((lease, epoch)) => {
+                shared.metrics.lease_acquired();
+                if let Some(ttl) = shared.lease_ttl {
+                    let mut clock = shared.lease_clock.lock().expect("lease clock poisoned");
+                    clock.push((lease, Instant::now() + ttl));
+                }
+                return market_form_response(shared, outcome, Some((lease, epoch)), snapshot.epoch);
+            }
+            Err(crate::ServiceError::Leased { .. }) => continue,
+            Err(e) => return error_response(shared, e.to_string()),
+        }
+    }
+    shared.metrics.pool_exhausted_shed();
+    Response::PoolExhausted { free: free_len }
 }
 
 fn run_formation(

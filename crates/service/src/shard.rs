@@ -58,6 +58,15 @@ pub struct EpochSnapshot {
     pub scenario: FormationScenario,
     /// The serializable registry view (what `registry` requests dump).
     pub view: RegistrySnapshot,
+    /// Global ids of the GSPs held by no live lease — the sub-pool a
+    /// market-aware formation (`form --app`) runs against.
+    pub free: Vec<usize>,
+    /// Digest of the committed set (0 when nothing is committed);
+    /// salts market solve-cache keys so a cached optimum is never
+    /// served against a different available pool.
+    pub free_digest: u64,
+    /// Live leases at this epoch, in acquisition order.
+    pub leases: Vec<gridvo_market::Lease>,
 }
 
 impl EpochSnapshot {
@@ -66,6 +75,9 @@ impl EpochSnapshot {
             epoch: reg.registry().epoch(),
             scenario: reg.registry().scenario()?,
             view: reg.registry().snapshot(),
+            free: reg.registry().free_members(),
+            free_digest: reg.registry().market().free_digest(),
+            leases: reg.registry().leases().to_vec(),
         })
     }
 }

@@ -35,7 +35,12 @@ fn tiny_deadline_on_a_large_instance_returns_promptly() {
 
     let started = Instant::now();
     let response = client
-        .request(&Request::Form { seed: 7, mechanism: MechanismKind::Tvof, deadline_ms: Some(50) })
+        .request(&Request::Form {
+            seed: 7,
+            mechanism: MechanismKind::Tvof,
+            deadline_ms: Some(50),
+            app: None,
+        })
         .expect("request served");
     let elapsed = started.elapsed();
 
@@ -44,7 +49,7 @@ fn tiny_deadline_on_a_large_instance_returns_promptly() {
         "deadline-bounded request took {elapsed:?} — the deadline did not bound the solve"
     );
     match &response {
-        Response::Form { outcome, truncated, gap } => {
+        Response::Form { outcome, truncated, gap, .. } => {
             // The anytime contract: the summary fields are present,
             // consistent with the records, and any selected VO's cost
             // is a genuinely feasible assignment.
@@ -88,10 +93,15 @@ fn unlimited_deadline_still_proves_optimality_on_small_instances() {
     let handle = ServerHandle::spawn(&scenario, ServerConfig::default()).expect("server spawns");
     let mut client = ServiceClient::connect(handle.addr()).expect("client connects");
     let response = client
-        .request(&Request::Form { seed: 3, mechanism: MechanismKind::Tvof, deadline_ms: None })
+        .request(&Request::Form {
+            seed: 3,
+            mechanism: MechanismKind::Tvof,
+            deadline_ms: None,
+            app: None,
+        })
         .expect("request served");
     match response {
-        Response::Form { outcome, truncated, gap } => {
+        Response::Form { outcome, truncated, gap, .. } => {
             assert_eq!(truncated, Some(false));
             assert!(outcome.feasible_vos.iter().all(|v| v.optimal && v.gap == Some(0.0)));
             assert_eq!(gap, outcome.selected.as_ref().and_then(|v| v.gap));

@@ -215,11 +215,16 @@ fn registry_event_wire_format_is_stable() {
         cost: None,
         time: None,
         receipt: None,
+        app: None,
+        lease: None,
+        members: None,
+        reason: None,
     };
     assert_eq!(
         serde_json::to_string(&trust).unwrap(),
         "{\"epoch\":3,\"op\":\"report_trust\",\"gsp\":0,\"to\":2,\"value\":0.9,\
-         \"speed_gflops\":null,\"cost\":null,\"time\":null,\"receipt\":null}"
+         \"speed_gflops\":null,\"cost\":null,\"time\":null,\"receipt\":null,\
+         \"app\":null,\"lease\":null,\"members\":null,\"reason\":null}"
     );
     let add = RegistryEvent {
         epoch: 1,
@@ -231,11 +236,16 @@ fn registry_event_wire_format_is_stable() {
         cost: Some(vec![2.0, 2.5]),
         time: Some(vec![0.5, 1.0]),
         receipt: None,
+        app: None,
+        lease: None,
+        members: None,
+        reason: None,
     };
     assert_eq!(
         serde_json::to_string(&add).unwrap(),
         "{\"epoch\":1,\"op\":\"add_gsp\",\"gsp\":5,\"to\":null,\"value\":null,\
-         \"speed_gflops\":120.0,\"cost\":[2.0,2.5],\"time\":[0.5,1.0],\"receipt\":null}"
+         \"speed_gflops\":120.0,\"cost\":[2.0,2.5],\"time\":[0.5,1.0],\"receipt\":null,\
+         \"app\":null,\"lease\":null,\"members\":null,\"reason\":null}"
     );
 
     // Decoding round-trips the golden lines…
@@ -285,13 +295,18 @@ fn execution_receipt_wire_format_is_stable() {
         cost: None,
         time: None,
         receipt: Some(receipt.clone()),
+        app: None,
+        lease: None,
+        members: None,
+        reason: None,
     };
     assert_eq!(
         serde_json::to_string(&event).unwrap(),
         format!(
             "{{\"epoch\":7,\"op\":\"report_receipt\",\"gsp\":null,\"to\":null,\
              \"value\":null,\"speed_gflops\":null,\"cost\":null,\"time\":null,\
-             \"receipt\":{line}}}"
+             \"receipt\":{line},\"app\":null,\"lease\":null,\"members\":null,\
+             \"reason\":null}}"
         )
     );
     // Pre-receipt journals (no `receipt` key anywhere) still parse.

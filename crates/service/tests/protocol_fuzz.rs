@@ -129,7 +129,7 @@ proptest! {
 
         // Valid requests after garbage are answered correctly: a form
         // on the same connection is byte-identical to the direct call.
-        conn.send(&Request::Form { seed: 42, mechanism: Default::default(), deadline_ms: None });
+        conn.send(&Request::Form { seed: 42, mechanism: Default::default(), deadline_ms: None, app: None });
         let served = conn.recv();
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let mut direct = Mechanism::tvof(FormationConfig::default())

@@ -155,9 +155,14 @@ fn legacy_form_response_without_gap_fields_still_parses() {
     assert!(!legacy.contains(r#""gap""#), "legacy line must predate every gap field");
 
     match decode::<Response>(&legacy).unwrap() {
-        Response::Form { outcome: parsed, truncated, gap } => {
+        Response::Form { outcome: parsed, truncated, gap, lease, lease_epoch, formed_epoch } => {
             assert_eq!(truncated, None, "missing truncated must read as None");
             assert_eq!(gap, None, "missing top-level gap must read as None");
+            assert_eq!(
+                (lease, lease_epoch, formed_epoch),
+                (None, None, None),
+                "pre-market lines must read the lease fields as None"
+            );
             assert!(parsed.feasible_vos.iter().all(|v| v.gap.is_none()));
             assert!(parsed.iterations.iter().all(|it| it.gap.is_none()));
             // Everything except the absent gaps round-trips intact.
@@ -179,4 +184,89 @@ fn legacy_form_response_without_gap_fields_still_parses() {
         }
         other => panic!("expected form response, got {:?}", other.kind()),
     }
+}
+
+#[test]
+fn market_request_bytes_are_frozen() {
+    let form = Request::Form {
+        seed: 9,
+        mechanism: MechanismKind::Tvof,
+        deadline_ms: None,
+        app: Some("atlas".to_string()),
+    };
+    assert_eq!(
+        encode(&form),
+        r#"{"op":"form","seed":9,"mechanism":"tvof","deadline_ms":null,"app":"atlas"}"#
+    );
+
+    // An app-less form keeps the exact pre-market bytes: no `app` key
+    // at all, so old daemons parse lines from new clients.
+    let plain =
+        Request::Form { seed: 9, mechanism: MechanismKind::Tvof, deadline_ms: None, app: None };
+    assert_eq!(encode(&plain), r#"{"op":"form","seed":9,"mechanism":"tvof","deadline_ms":null}"#);
+
+    assert_eq!(
+        encode(&Request::Release { lease: 4, abandon: true }),
+        r#"{"op":"release_lease","lease":4,"abandon":true}"#
+    );
+    assert_eq!(encode(&Request::Leases), r#"{"op":"leases"}"#);
+}
+
+#[test]
+fn market_response_bytes_are_frozen() {
+    assert_eq!(encode(&Response::Throttled), r#"{"kind":"throttled"}"#);
+    assert_eq!(
+        encode(&Response::PoolExhausted { free: 2 }),
+        r#"{"kind":"pool_exhausted","free":2}"#
+    );
+    let leases = Response::Leases {
+        leases: vec![gridvo_service::Lease {
+            id: 1,
+            app: "atlas".to_string(),
+            members: vec![0, 3],
+            acquired_epoch: 5,
+        }],
+        free: vec![1, 2, 4],
+        epoch: 6,
+    };
+    assert_eq!(
+        encode(&leases),
+        r#"{"kind":"leases","leases":[{"id":1,"app":"atlas","members":[0,3],"acquired_epoch":5}],"free":[1,2,4],"epoch":6}"#
+    );
+    let back: Response = decode(&encode(&leases)).unwrap();
+    assert_eq!(back, leases);
+}
+
+#[test]
+fn legacy_release_without_abandon_defaults_to_complete() {
+    let request: Request = decode(r#"{"op":"release_lease","lease":12}"#).unwrap();
+    assert_eq!(request, Request::Release { lease: 12, abandon: false });
+}
+
+#[test]
+fn market_form_response_appends_lease_fields_after_the_gap_tail() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let outcome = gridvo_core::Mechanism::tvof(FormationConfig::default())
+        .run(&scenario(), &mut rng)
+        .expect("feasible scenario");
+
+    // Plain form lines keep the exact pre-market tail…
+    let plain = encode(&Response::form_from(outcome.clone()));
+    assert!(plain.ends_with(r#","truncated":false,"gap":0.0}"#), "unexpected tail: {plain}");
+    assert!(!plain.contains(r#""lease""#) && !plain.contains(r#""formed_epoch""#));
+
+    // …and a leased market form appends only the three new fields.
+    let leased = encode(&Response::market_form_from(outcome.clone(), Some((3, 9)), 8));
+    assert!(
+        leased.ends_with(
+            r#","truncated":false,"gap":0.0,"lease":3,"lease_epoch":9,"formed_epoch":8}"#
+        ),
+        "unexpected tail: {leased}"
+    );
+    assert_eq!(&leased[..plain.len() - 1], &plain[..plain.len() - 1], "shared prefix is frozen");
+
+    // A lease-less market form (nothing selected) reports only the
+    // epoch it formed against.
+    let unleased = encode(&Response::market_form_from(outcome, None, 8));
+    assert!(unleased.ends_with(r#","truncated":false,"gap":0.0,"formed_epoch":8}"#));
 }

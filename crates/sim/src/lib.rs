@@ -40,6 +40,7 @@ pub mod dynamic;
 pub mod experiments;
 pub mod faults;
 pub mod instance_gen;
+pub mod market;
 pub mod report;
 pub mod runner;
 

@@ -88,6 +88,39 @@ proptest! {
     }
 
     #[test]
+    fn whole_valued_fields_round_trip_exactly(
+        jobs in proptest::collection::vec(arb_job(), 1..30),
+    ) {
+        // Whole-valued floats print as integers (the normalized form),
+        // so truncating every float field makes the round trip exact —
+        // not just within tolerance.
+        let mut trace = SwfTrace { header: vec![], jobs };
+        for j in &mut trace.jobs {
+            for f in [
+                &mut j.submit_time, &mut j.wait_time, &mut j.run_time,
+                &mut j.avg_cpu_time, &mut j.requested_time, &mut j.think_time,
+            ] {
+                *f = f.trunc();
+            }
+        }
+        let back = SwfTrace::parse(&trace.to_swf()).expect("own output parses");
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn synthetic_trace_arrivals_are_monotone(jobs in 1usize..80, seed in 0u64..500) {
+        let trace = gridvo_sim::market::synthetic_trace(jobs, seed);
+        prop_assert_eq!(trace.jobs.len(), jobs);
+        prop_assert!(trace.jobs.windows(2).all(|w| w[0].submit_time <= w[1].submit_time),
+            "submit times must never go backwards");
+        prop_assert!(trace.jobs.iter().all(|j| j.submit_time >= 0.0 && j.run_time > 0.0));
+        // Job ids are the 1-based trace order.
+        for (i, j) in trace.jobs.iter().enumerate() {
+            prop_assert_eq!(j.job_id, i as i64 + 1);
+        }
+    }
+
+    #[test]
     fn execution_time_scales_inversely_with_speed(
         workloads in proptest::collection::vec(1.0f64..1e6, 1..20),
         speed in 10.0f64..1000.0,
@@ -101,4 +134,20 @@ proptest! {
         prop_assert!((p.total_workload() - workloads.iter().sum::<f64>()).abs()
             < 1e-9 * p.total_workload().max(1.0));
     }
+}
+
+/// The golden SWF fixture is stored in the normalized form `to_swf`
+/// emits (whole-valued floats printed as integers), so parse → emit
+/// must reproduce it byte for byte. This pins both the parser's field
+/// handling and the writer's number formatting.
+#[test]
+fn golden_swf_fixture_is_byte_stable() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/fixtures/golden.swf");
+    let text = std::fs::read_to_string(path).expect("golden fixture readable");
+    let trace = SwfTrace::parse(&text).expect("golden fixture parses");
+    assert_eq!(trace.jobs.len(), 6);
+    assert_eq!(trace.header.len(), 5);
+    assert_eq!(trace.completed().count(), 4, "statuses 0 and 5 filtered out");
+    assert_eq!(trace.jobs[3].avg_cpu_time, 12000.5, "fractional fields survive");
+    assert_eq!(trace.to_swf(), text, "normalized trace must round-trip byte-identically");
 }
